@@ -1,0 +1,52 @@
+//! Criterion: construction-time costs — range-DFA derivation, filter
+//! elaboration and LUT mapping. These bound how fast the design flow can
+//! iterate (the paper's outlook calls the brute-force exploration "too
+//! time-consuming"; these numbers are the per-point cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfjson_core::cost::{exact_cost, option_cost};
+use rfjson_core::elaborate::elaborate_filter;
+use rfjson_core::expr::Expr;
+use rfjson_redfa::NumberBounds;
+use std::hint::black_box;
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(20);
+
+    group.bench_function("range_dfa_12_49", |b| {
+        b.iter(|| black_box(NumberBounds::int_range(12, 49).to_dfa()))
+    });
+    group.bench_function("range_dfa_1345_26282", |b| {
+        b.iter(|| black_box(NumberBounds::int_range(1345, 26282).to_dfa()))
+    });
+    group.bench_function("range_dfa_float", |b| {
+        b.iter(|| {
+            let bounds = NumberBounds::new(
+                "83.36".parse().expect("lit"),
+                "3322.67".parse().expect("lit"),
+                rfjson_redfa::range::NumberKind::Float,
+            )
+            .expect("valid");
+            black_box(bounds.to_dfa())
+        })
+    });
+
+    let pair = Expr::context([
+        Expr::substring(b"temperature", 1).expect("valid"),
+        Expr::float_range("0.7", "35.1").expect("valid"),
+    ]);
+    group.bench_function("elaborate_struct_pair", |b| {
+        b.iter(|| black_box(elaborate_filter(black_box(&pair), "bench")))
+    });
+    group.bench_function("map_struct_pair_exact", |b| {
+        b.iter(|| black_box(exact_cost(black_box(&pair))))
+    });
+    group.bench_function("map_struct_pair_option", |b| {
+        b.iter(|| black_box(option_cost(black_box(&pair))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

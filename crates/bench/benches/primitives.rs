@@ -1,0 +1,44 @@
+//! Criterion: byte throughput of each raw-filter primitive's software
+//! model (the performance floor of the simulation substrate; the hardware
+//! processes exactly one byte per cycle by construction).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfjson_bench::SEED;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::Expr;
+use rfjson_core::query::query_to_exprs;
+use rfjson_riotbench::{smartcity, Query};
+use std::hint::black_box;
+
+fn primitive_throughput(c: &mut Criterion) {
+    let stream = smartcity::generate(SEED, 2000).stream();
+    let mut group = c.benchmark_group("primitive_throughput");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(15);
+
+    let cases: Vec<(&str, Expr)> = vec![
+        ("s1_temperature", Expr::substring(b"temperature", 1).unwrap()),
+        ("s2_temperature", Expr::substring(b"temperature", 2).unwrap()),
+        ("window_temperature", Expr::window(b"temperature").unwrap()),
+        ("dfa_temperature", Expr::dfa_string(b"temperature").unwrap()),
+        ("v_12_49", Expr::int_range(12, 49)),
+        (
+            "ctx_temperature_pair",
+            Expr::context([
+                Expr::substring(b"temperature", 1).unwrap(),
+                Expr::float_range("0.7", "35.1").unwrap(),
+            ]),
+        ),
+        ("full_qs1", query_to_exprs(&Query::qs1(), 1).unwrap()),
+    ];
+    for (name, expr) in cases {
+        let mut filter = CompiledFilter::compile(&expr);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(filter.filter_stream(black_box(&stream))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, primitive_throughput);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 1: the RTL architecture of the "temperature" substring matcher
+//! with block length B = 2 — dumped from the actual elaboration, with
+//! structural statistics and the LUT mapping report.
+//!
+//! `cargo run -p rfjson-bench --bin fig1_rtl`
+
+use rfjson_core::cost::LUT_K;
+use rfjson_core::elaborate::elaborate_option;
+use rfjson_core::expr::Expr;
+use rfjson_core::primitive::SubstringMatcher;
+use rfjson_rtl::stats::NetlistStats;
+use rfjson_techmap::map_netlist;
+
+fn main() {
+    let expr = Expr::substring(b"temperature", 2).expect("valid spec");
+    let matcher = SubstringMatcher::new(b"temperature", 2).expect("valid spec");
+
+    println!("Fig. 1 — RTL architecture of s2(\"temperature\")\n");
+    println!("byte stream, one byte per cycle");
+    println!("  └─ 1-deep byte buffer (8 FFs) holds the previous byte");
+    print!("  └─ comparators: ");
+    let blocks: Vec<String> = matcher
+        .blocks()
+        .iter()
+        .map(|b| format!("=='{}'", String::from_utf8_lossy(b)))
+        .collect();
+    println!("{}", blocks.join("  "));
+    println!("  └─ OR-reduce → saturating counter (reset on miss)");
+    println!(
+        "  └─ fire when count ≥ len(SS) − B + 1 = {}\n",
+        matcher.target()
+    );
+
+    let netlist = elaborate_option(&expr, "s2_temperature");
+    println!("elaborated netlist: {}", NetlistStats::of(&netlist));
+    let report = map_netlist(&netlist, LUT_K);
+    println!("mapped to {LUT_K}-input LUTs: {report}\n");
+
+    println!("structural dump:\n");
+    let dump = netlist.dump();
+    // The full dump is long; show the head and tail.
+    let lines: Vec<&str> = dump.lines().collect();
+    if lines.len() > 60 {
+        for l in &lines[..40] {
+            println!("{l}");
+        }
+        println!("  ... ({} more lines) ...", lines.len() - 50);
+        for l in &lines[lines.len() - 10..] {
+            println!("{l}");
+        }
+    } else {
+        println!("{dump}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 2: the number-filter build process for `i ≥ 35` — regex
+//! derivation steps, subset construction, minimisation — plus the range
+//! automaton sizes used in the evaluation queries.
+//!
+//! `cargo run -p rfjson-bench --bin fig2_dfa`
+
+use rfjson_redfa::range::{ge_int_regex, le_int_regex, NumberBounds};
+use rfjson_redfa::{Decimal, Dfa};
+
+fn main() {
+    println!("Fig. 2 — number filter build process for i >= 35\n");
+    let bound: Decimal = "35".parse().expect("literal");
+    let regex = ge_int_regex(&bound);
+    println!("step 1 (derived regex):\n  {regex}\n");
+    let dfa = Dfa::from_regex(&regex);
+    let min = dfa.minimized();
+    println!(
+        "step 2 (subset construction): {} states; minimised: {} states, {} input classes\n",
+        dfa.num_states(),
+        min.num_states(),
+        min.num_classes()
+    );
+    println!("{min}");
+
+    println!("\nrange automata of the evaluation queries:");
+    println!(
+        "{:<28} {:>6} {:>8} {:>8}",
+        "range", "states", "classes", "accepts"
+    );
+    for (name, b) in [
+        ("v(12 <= i <= 49)", NumberBounds::int_range(12, 49)),
+        ("v(0 <= i <= 5153)", NumberBounds::int_range(0, 5153)),
+        ("v(1345 <= i <= 26282)", NumberBounds::int_range(1345, 26282)),
+        ("v(140 <= i <= 3155)", NumberBounds::int_range(140, 3155)),
+        (
+            "v(0.7 <= f <= 35.1)",
+            NumberBounds::new(
+                "0.7".parse().expect("lit"),
+                "35.1".parse().expect("lit"),
+                rfjson_redfa::range::NumberKind::Float,
+            )
+            .expect("valid"),
+        ),
+        (
+            "v(-12.5 <= f <= 43.1)",
+            NumberBounds::new(
+                "-12.5".parse().expect("lit"),
+                "43.1".parse().expect("lit"),
+                rfjson_redfa::range::NumberKind::Float,
+            )
+            .expect("valid"),
+        ),
+    ] {
+        let d = b.to_dfa();
+        let lo = b.lo().to_f64();
+        let hi = b.hi().to_f64();
+        let mid = format!("{}", ((lo + hi) / 2.0).round());
+        println!(
+            "{name:<28} {:>6} {:>8} {:>8}",
+            d.num_states(),
+            d.num_classes(),
+            if d.accepts(mid.as_bytes()) { "mid ok" } else { "mid ??" },
+        );
+    }
+
+    // Upper-bound derivation example too (the paper describes both).
+    let le = le_int_regex(&"49".parse::<Decimal>().expect("literal"));
+    println!("\nupper-bound regex for i <= 49:\n  {le}");
+}

@@ -1,0 +1,63 @@
+//! Tables I–III: comparison of the three string-matching techniques —
+//! positional FPR and mapped LUTs — over SmartCity, Taxi and Twitter.
+//!
+//! `cargo run -p rfjson-bench --bin table1_2_3 --release`
+
+use rfjson_bench::{
+    cell, print_row, standard_datasets, SMARTCITY_NEEDLES, TAXI_NEEDLES, TWITTER_NEEDLES,
+};
+use rfjson_core::cost::option_cost;
+use rfjson_core::eval::positional_fpr;
+use rfjson_core::expr::Expr;
+use rfjson_core::primitive::{DfaStringMatcher, SubstringMatcher, WindowMatcher};
+use rfjson_riotbench::Dataset;
+
+fn main() {
+    let (smartcity, taxi, twitter) = standard_datasets();
+    run_table("Table I — SmartCity dataset", &SMARTCITY_NEEDLES, &smartcity);
+    run_table("Table II — Taxi dataset", &TAXI_NEEDLES, &taxi);
+    run_table("Table III — Twitter dataset", &TWITTER_NEEDLES, &twitter);
+    println!("\nFPR here is positional: a record counts as a false positive when the");
+    println!("matcher fires at a byte where the needle does not actually end. Exact");
+    println!("techniques (DFA, N-byte) are therefore 0.000 by construction, as in the paper.");
+}
+
+fn run_table(title: &str, needles: &[&str], dataset: &Dataset) {
+    println!("\n{title} ({} records)", dataset.len());
+    let widths = [18usize, 10, 10, 10, 10, 10, 10];
+    print_row(
+        &[
+            "search string".into(),
+            "(i) DFA".into(),
+            "(ii) N-byte".into(),
+            "B=1".into(),
+            "B=2".into(),
+            "B=3".into(),
+            "B=4".into(),
+        ],
+        &widths,
+    );
+    for needle in needles {
+        let nb = needle.as_bytes();
+        let mut cols = vec![needle.to_string()];
+        // (i) DFA
+        let mut dfa = DfaStringMatcher::new(nb);
+        let dfa_luts = option_cost(&Expr::dfa_string(nb).expect("valid")).luts;
+        cols.push(cell(positional_fpr(&mut dfa, nb, dataset), dfa_luts));
+        // (ii) full window
+        let mut win = WindowMatcher::new(nb);
+        let win_luts = option_cost(&Expr::window(nb).expect("valid")).luts;
+        cols.push(cell(positional_fpr(&mut win, nb, dataset), win_luts));
+        // (iii) substrings, B = 1..4
+        for b in 1..=4usize {
+            if b > nb.len() {
+                cols.push("-".into());
+                continue;
+            }
+            let mut m = SubstringMatcher::new(nb, b).expect("valid");
+            let luts = option_cost(&Expr::substring(nb, b).expect("valid")).luts;
+            cols.push(cell(positional_fpr(&mut m, nb, dataset), luts));
+        }
+        print_row(&cols, &widths);
+    }
+}

@@ -1,0 +1,36 @@
+//! Table IV: substrings of the "temperature" search string for different
+//! block lengths B, duplicates in parentheses.
+//!
+//! `cargo run -p rfjson-bench --bin table4`
+
+use rfjson_core::primitive::substrings;
+
+fn main() {
+    println!("Table IV — substrings of \"temperature\" (duplicates in parentheses)\n");
+    println!("{:>2}  sub-strings", "B");
+    let needle = b"temperature";
+    for b in [1usize, 2, 3] {
+        let row: Vec<String> = substrings(needle, b)
+            .iter()
+            .map(|s| {
+                let text = String::from_utf8_lossy(&s.bytes).into_owned();
+                if s.duplicate {
+                    format!("('{text}')")
+                } else {
+                    format!("'{text}'")
+                }
+            })
+            .collect();
+        println!("{b:>2}  {}", row.join(", "));
+    }
+    println!(" .   ...");
+    println!("{:>2}  'temperature'", needle.len());
+
+    // Comparator counts: duplicates share logic.
+    println!("\ndistinct comparator blocks per B:");
+    for b in 1..=4usize {
+        let all = substrings(needle, b);
+        let distinct = all.iter().filter(|s| !s.duplicate).count();
+        println!("  B={b}: {} of {} windows distinct", distinct, all.len());
+    }
+}

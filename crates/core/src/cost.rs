@@ -1,0 +1,140 @@
+//! Resource costing of raw filters.
+//!
+//! Two models:
+//!
+//! * [`exact_cost`] — elaborate the complete filter (shared structure
+//!   logic included) and LUT-map it. Used for the Pareto tables.
+//! * the **additive model** used during design-space exploration:
+//!   per-attribute option cost ([`option_cost`], structure signals as free
+//!   inputs) + one [`structure_cost`] if any option is structural + a
+//!   small glue term — the same sharing a real multi-context filter has in
+//!   hardware. Tested to track the exact model closely.
+
+use crate::elaborate::{build_stream_logic, elaborate_filter, elaborate_option};
+use crate::expr::Expr;
+use rfjson_rtl::Netlist;
+use rfjson_techmap::{map_netlist, ResourceReport};
+
+/// LUT input arity of the target FPGA (Xilinx 7-series, as in the paper).
+pub const LUT_K: usize = 6;
+
+/// Exact cost: full elaboration + technology mapping.
+pub fn exact_cost(expr: &Expr) -> ResourceReport {
+    let netlist = elaborate_filter(expr, "filter");
+    map_netlist(&netlist, LUT_K)
+}
+
+/// Cost of one per-attribute option with structure signals supplied as
+/// inputs (i.e. excluding the shared mask/depth logic).
+pub fn option_cost(expr: &Expr) -> ResourceReport {
+    let netlist = elaborate_option(expr, "option");
+    map_netlist(&netlist, LUT_K)
+}
+
+/// Cost of the shared structure block alone (string mask, depth counter,
+/// record-boundary detection).
+pub fn structure_cost() -> ResourceReport {
+    let mut n = Netlist::new("structure");
+    let byte = n.input_word("byte", 8);
+    let sig = build_stream_logic(&mut n, &byte);
+    for (i, &d) in sig.depth.iter().enumerate() {
+        n.output(format!("depth[{i}]"), d);
+    }
+    n.output("is_close", sig.is_close);
+    n.output("is_comma", sig.is_comma);
+    n.output("record_reset", sig.record_reset);
+    map_netlist(&n, LUT_K)
+}
+
+/// Additive estimate for a conjunction of per-attribute options: sum of
+/// option costs, plus the shared structure block when any option needs
+/// structural signals, plus one LUT of glue per 5 extra conjuncts.
+pub fn additive_cost(option_costs: &[ResourceReport], any_structural: bool) -> usize {
+    let options: usize = option_costs.iter().map(|r| r.luts).sum();
+    let structure = if any_structural { structure_cost().luts } else { 0 };
+    let glue = if option_costs.len() > 1 {
+        1 + (option_costs.len().saturating_sub(2)) / (LUT_K - 1)
+    } else {
+        0
+    };
+    options + structure + glue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_block_cost_is_modest() {
+        let r = structure_cost();
+        assert!(r.luts >= 5 && r.luts <= 60, "structure block: {r}");
+        assert!(r.ffs >= DEPTH_FFS_MIN, "mask + depth registers: {r}");
+    }
+
+    const DEPTH_FFS_MIN: usize = 7; // 2 mask bits + 5 depth bits
+
+    #[test]
+    fn substring_cheaper_than_window_for_long_strings() {
+        // The headline claim of Table I-III: s1 of a long needle costs far
+        // less than the full-length window comparison.
+        let s1 = option_cost(&Expr::substring(b"favourites_count", 1).unwrap());
+        let win = option_cost(&Expr::window(b"favourites_count").unwrap());
+        assert!(
+            s1.luts < win.luts,
+            "s1 {} LUTs vs window {} LUTs",
+            s1.luts,
+            win.luts
+        );
+        // And in flip-flops the window pays 8 bits per buffered byte.
+        assert!(win.ffs > 8 * 10);
+    }
+
+    #[test]
+    fn costs_grow_with_block_length() {
+        // Table I: LUTs rise from B=1 to B=4 for "temperature".
+        let costs: Vec<usize> = [1usize, 2, 4]
+            .iter()
+            .map(|&b| option_cost(&Expr::substring(b"temperature", b).unwrap()).luts)
+            .collect();
+        assert!(
+            costs[0] < costs[2],
+            "B=1 ({}) should be cheaper than B=4 ({})",
+            costs[0],
+            costs[2]
+        );
+    }
+
+    #[test]
+    fn additive_tracks_exact() {
+        // For a two-context conjunction the additive estimate must land
+        // within a reasonable band of the exact mapping (sharing effects
+        // make it inexact by design).
+        let pair_a = Expr::context([
+            Expr::substring(b"humidity", 1).unwrap(),
+            Expr::float_range("20.3", "69.1").unwrap(),
+        ]);
+        let pair_b = Expr::context([
+            Expr::substring(b"dust", 1).unwrap(),
+            Expr::float_range("83.36", "3322.67").unwrap(),
+        ]);
+        let full = Expr::and([pair_a.clone(), pair_b.clone()]);
+        let exact = exact_cost(&full).luts;
+        let additive = additive_cost(&[option_cost(&pair_a), option_cost(&pair_b)], true);
+        let ratio = additive as f64 / exact as f64;
+        assert!(
+            (0.6..=1.5).contains(&ratio),
+            "additive {additive} vs exact {exact} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn glue_accounting() {
+        let r = ResourceReport {
+            luts: 10,
+            ..Default::default()
+        };
+        assert_eq!(additive_cost(&[r], false), 10);
+        assert_eq!(additive_cost(&[r, r], false), 21);
+        assert_eq!(additive_cost(&[r; 5], false), 51);
+    }
+}

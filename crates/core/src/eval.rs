@@ -1,0 +1,222 @@
+//! False-positive measurement.
+//!
+//! Two measurement modes mirror the paper's two uses of "FPR":
+//!
+//! * [`measure`] — record-level, against query ground truth: of the
+//!   records the query does *not* select, which fraction does the raw
+//!   filter wrongly pass? (Tables V–VII, Fig. 3.) False negatives are
+//!   counted too and must always be zero — that is the defining raw-filter
+//!   guarantee.
+//! * [`positional_fpr`] — matcher-level, against exact string occurrence
+//!   positions: in which fraction of records does an approximate matcher
+//!   fire at a position where the needle does not actually end? (Tables
+//!   I–III; exact matchers score 0 by construction.)
+
+use crate::evaluator::CompiledFilter;
+use crate::expr::Expr;
+use crate::primitive::{exact_end_positions, FireFilter};
+use rfjson_riotbench::{Dataset, Query};
+use std::fmt;
+
+/// Result of measuring a filter against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Total records scanned.
+    pub records: usize,
+    /// Records the query truly selects.
+    pub matching: usize,
+    /// Records the raw filter passed.
+    pub accepted: usize,
+    /// Records passed by the filter but not selected by the query.
+    pub false_positives: usize,
+    /// Records selected by the query but dropped by the filter.
+    /// **Must be zero** for any well-formed raw filter.
+    pub false_negatives: usize,
+}
+
+impl Measurement {
+    /// False-positive rate: false positives over true negatives.
+    pub fn fpr(&self) -> f64 {
+        let negatives = self.records - self.matching;
+        if negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / negatives as f64
+        }
+    }
+
+    /// Fraction of the stream the filter lets through.
+    pub fn pass_rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction of the raw data removed before the parser (the paper's
+    /// headline "up to 94.3 % of the raw data can be filtered").
+    pub fn filtered_fraction(&self) -> f64 {
+        1.0 - self.pass_rate()
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records: {} match, {} accepted, FPR {:.3}, FN {}",
+            self.records,
+            self.matching,
+            self.accepted,
+            self.fpr(),
+            self.false_negatives
+        )
+    }
+}
+
+/// Measures `expr` against `query` ground truth over `dataset`.
+///
+/// # Panics
+///
+/// Panics if the dataset contains invalid JSON (ground truth would be
+/// meaningless).
+pub fn measure(expr: &Expr, dataset: &Dataset, query: &Query) -> Measurement {
+    let mut filter = CompiledFilter::compile(expr);
+    let truth: Vec<bool> = dataset.parsed().iter().map(|r| query.matches(r)).collect();
+    let mut m = Measurement {
+        records: dataset.len(),
+        matching: truth.iter().filter(|t| **t).count(),
+        accepted: 0,
+        false_positives: 0,
+        false_negatives: 0,
+    };
+    for (record, &matched) in dataset.records().iter().zip(&truth) {
+        let accepted = filter.accepts_record(record);
+        if accepted {
+            m.accepted += 1;
+            if !matched {
+                m.false_positives += 1;
+            }
+        } else if matched {
+            m.false_negatives += 1;
+        }
+    }
+    m
+}
+
+/// Positional FPR of a string matcher (Tables I–III): the fraction of
+/// records in which the matcher fires at least once at a byte position
+/// where `needle` does not actually end.
+pub fn positional_fpr(
+    matcher: &mut dyn FireFilter,
+    needle: &[u8],
+    dataset: &Dataset,
+) -> f64 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let spurious_records = dataset
+        .records()
+        .iter()
+        .filter(|record| {
+            let fires = matcher.fire_positions(record);
+            let exact = exact_end_positions(record, needle);
+            fires.iter().any(|p| !exact.contains(p))
+        })
+        .count();
+    spurious_records as f64 / dataset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::{DfaStringMatcher, SubstringMatcher, WindowMatcher};
+    use rfjson_riotbench::{smartcity, taxi};
+
+    #[test]
+    fn exact_matchers_have_zero_positional_fpr() {
+        let ds = taxi::generate(1, 100);
+        for needle in [&b"tolls_amount"[..], b"trip_distance"] {
+            let mut dfa = DfaStringMatcher::new(needle);
+            let mut win = WindowMatcher::new(needle);
+            assert_eq!(positional_fpr(&mut dfa, needle, &ds), 0.0);
+            assert_eq!(positional_fpr(&mut win, needle, &ds), 0.0);
+        }
+    }
+
+    #[test]
+    fn tolls_amount_b1_full_positional_fpr() {
+        // Table II: s1("tolls_amount") = 1.000 — every record contains
+        // "total_amount".
+        let ds = taxi::generate(2, 200);
+        let mut m = SubstringMatcher::new(b"tolls_amount", 1).unwrap();
+        let fpr = positional_fpr(&mut m, b"tolls_amount", &ds);
+        assert!(fpr > 0.99, "got {fpr}");
+        // And B=2 fixes it completely (Table II).
+        let mut m2 = SubstringMatcher::new(b"tolls_amount", 2).unwrap();
+        let fpr2 = positional_fpr(&mut m2, b"tolls_amount", &ds);
+        assert_eq!(fpr2, 0.0, "got {fpr2}");
+    }
+
+    #[test]
+    fn smartcity_strings_are_clean_at_b1() {
+        // Table I: SmartCity keys produce (near-)zero positional FPR even
+        // at B=1 — the records contain little letter material.
+        let ds = smartcity::generate(3, 200);
+        for needle in [&b"temperature"[..], b"humidity", b"light"] {
+            let mut m = SubstringMatcher::new(needle, 1).unwrap();
+            let fpr = positional_fpr(&mut m, needle, &ds);
+            assert!(
+                fpr < 0.05,
+                "needle {:?} fpr {fpr}",
+                String::from_utf8_lossy(needle)
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_record_level() {
+        let ds = smartcity::generate(4, 400);
+        let q = Query::qs0();
+        // Naive single-primitive filter: accepts almost everything.
+        let m = measure(&Expr::substring(b"temperature", 1).unwrap(), &ds, &q);
+        assert_eq!(m.false_negatives, 0, "raw filters never drop matches");
+        assert_eq!(m.records, 400);
+        assert!(m.pass_rate() > 0.9);
+        // Structural filter on the most selective attribute: lower FPR.
+        let structural = Expr::and([
+            Expr::context([
+                Expr::substring(b"temperature", 1).unwrap(),
+                Expr::float_range("0.7", "35.1").unwrap(),
+            ]),
+            Expr::context([
+                Expr::substring(b"humidity", 1).unwrap(),
+                Expr::float_range("20.3", "69.1").unwrap(),
+            ]),
+        ]);
+        let m2 = measure(&structural, &ds, &q);
+        assert_eq!(m2.false_negatives, 0);
+        assert!(
+            m2.fpr() < m.fpr(),
+            "structural {} < naive {}",
+            m2.fpr(),
+            m.fpr()
+        );
+    }
+
+    #[test]
+    fn measurement_display_and_rates() {
+        let m = Measurement {
+            records: 100,
+            matching: 20,
+            accepted: 30,
+            false_positives: 10,
+            false_negatives: 0,
+        };
+        assert!((m.fpr() - 0.125).abs() < 1e-12);
+        assert!((m.pass_rate() - 0.3).abs() < 1e-12);
+        assert!((m.filtered_fraction() - 0.7).abs() < 1e-12);
+        assert!(m.to_string().contains("FPR 0.125"));
+    }
+}

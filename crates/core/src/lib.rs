@@ -1,0 +1,83 @@
+//! # rfjson-core — raw filtering of JSON data, the FPGA way
+//!
+//! This crate is the primary contribution of *"Raw Filtering of JSON Data
+//! on FPGAs"* (Hahn, Becher, Wildermann, Teich — DATE 2022), reproduced in
+//! Rust: **raw filters (RFs)** that scan a JSON byte stream one byte per
+//! cycle *before* any parser runs, discarding most non-matching records
+//! while guaranteeing **no false negatives**.
+//!
+//! ## The pieces
+//!
+//! * [`primitive`] — the paper's §III-A/§III-B filter primitives:
+//!   * [`primitive::DfaStringMatcher`] — technique (i), an N+1-state DFA;
+//!   * [`primitive::WindowMatcher`] — technique (ii), an N-byte compare;
+//!   * [`primitive::SubstringMatcher`] — technique (iii), the approximate
+//!     B-byte-block matcher with OR-reduced comparators and a run counter;
+//!   * [`primitive::NumberMatcher`] — the value/range filter evaluated at
+//!     number-token boundaries.
+//! * [`expr`] — composition (§III-C/D): conjunction, disjunction, and the
+//!   structure-aware context `{RF1 & RF2}` that only combines results found
+//!   in the same structural context.
+//! * [`evaluator`] — the byte-serial software model, cycle-equivalent to
+//!   the hardware.
+//! * [`elaborate`] — elaboration of any composed filter into an
+//!   `rfjson-rtl` netlist (what would be synthesised), with
+//!   `rfjson-techmap` providing the LUT costs the paper reports.
+//! * [`query`], [`design`] — the §III-D design flow: extract primitives
+//!   from a query, enumerate configurations, evaluate FPR vs. LUTs, and
+//!   extract Pareto-optimal raw filters (Tables V–VII, Fig. 3).
+//! * [`arch`] — the §IV-B system architecture model: parallel RF lanes fed
+//!   by DMA at one byte per cycle per lane.
+//!
+//! ## Quickstart
+//!
+//! The paper's running example — Listing 2's query on Listing 1's record:
+//!
+//! ```
+//! use rfjson_core::expr::Expr;
+//! use rfjson_core::evaluator::CompiledFilter;
+//!
+//! // { s1("temperature") & v(0.7 <= f <= 35.1) }
+//! let expr = Expr::context([
+//!     Expr::substring(b"temperature", 1)?,
+//!     Expr::float_range("0.7", "35.1")?,
+//! ]);
+//! let mut filter = CompiledFilter::compile(&expr);
+//!
+//! let listing1 = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},
+//!                    {"v":"12","u":"per","n":"humidity"}],"bt":1422748800000}"#;
+//! // 35.2 exceeds the range and "12" sits in a different measurement
+//! // object: the structure-aware filter correctly rejects the record.
+//! assert!(!filter.accepts_record(listing1));
+//!
+//! let matching = br#"{"e":[{"v":"21.0","u":"far","n":"temperature"}],"bt":0}"#;
+//! assert!(filter.accepts_record(matching));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cost;
+pub mod design;
+pub mod elaborate;
+pub mod eval;
+pub mod evaluator;
+pub mod expr;
+pub mod primitive;
+pub mod query;
+
+pub use evaluator::CompiledFilter;
+pub use expr::{Expr, StructScope};
+
+/// Convenience prelude for downstream users.
+pub mod prelude {
+    pub use crate::arch::RawFilterSystem;
+    pub use crate::design::{explore, DesignPoint, ExploreOptions};
+    pub use crate::elaborate::elaborate_filter;
+    pub use crate::eval::{measure, Measurement};
+    pub use crate::evaluator::CompiledFilter;
+    pub use crate::expr::{Expr, StructScope};
+    pub use crate::query::query_to_exprs;
+}

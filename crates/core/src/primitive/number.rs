@@ -1,0 +1,160 @@
+//! The number / number-range raw filter (§III-B).
+//!
+//! A range DFA (from `rfjson-redfa`) runs over every **number token** — a
+//! maximal run of bytes from `0-9 + - . e E`. The verdict is taken at the
+//! first byte *after* the token ("the DFA is evaluated every time a
+//! non-numeric character is seen, as it has to mark the end of the
+//! number"), then the automaton resets and waits for the next token.
+
+use super::FireFilter;
+use rfjson_redfa::range::is_number_byte;
+use rfjson_redfa::{Dfa, NumberBounds};
+
+/// Byte-serial number-range filter, `v(ℓ ≤ i|f ≤ u)` in paper notation.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_core::primitive::{NumberMatcher, FireFilter};
+/// use rfjson_redfa::NumberBounds;
+///
+/// let mut v = NumberMatcher::new(NumberBounds::int_range(12, 49));
+/// assert!(v.fired_in_record(br#"{"v":"20","u":"per"}"#));
+/// assert!(!v.fired_in_record(br#"{"v":"350","u":"per"}"#));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NumberMatcher {
+    bounds: NumberBounds,
+    dfa: Dfa,
+    state: u16,
+    in_token: bool,
+}
+
+impl NumberMatcher {
+    /// Builds the filter for `bounds` (with the approximate exponent
+    /// clause, as synthesised in the paper).
+    pub fn new(bounds: NumberBounds) -> Self {
+        let dfa = bounds.to_dfa();
+        let state = dfa.start();
+        NumberMatcher {
+            bounds,
+            dfa,
+            state,
+            in_token: false,
+        }
+    }
+
+    /// The value range.
+    pub fn bounds(&self) -> &NumberBounds {
+        &self.bounds
+    }
+
+    /// The range automaton (for elaboration / resource reports).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+}
+
+impl FireFilter for NumberMatcher {
+    fn on_byte(&mut self, b: u8) -> bool {
+        if is_number_byte(b) {
+            self.state = self.dfa.step(self.state, b);
+            self.in_token = true;
+            false
+        } else {
+            let fire = self.in_token && self.dfa.is_accept(self.state);
+            self.state = self.dfa.start();
+            self.in_token = false;
+            fire
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = self.dfa.start();
+        self.in_token = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfjson_redfa::range::{NumberKind};
+    use rfjson_redfa::Decimal;
+
+    fn float_bounds(lo: &str, hi: &str) -> NumberBounds {
+        NumberBounds::new(
+            lo.parse::<Decimal>().unwrap(),
+            hi.parse::<Decimal>().unwrap(),
+            NumberKind::Float,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fires_at_token_boundary() {
+        let mut v = NumberMatcher::new(NumberBounds::int_range(10, 20));
+        // "15," — fire happens at the comma, not at the digits.
+        assert!(!v.on_byte(b'1'));
+        assert!(!v.on_byte(b'5'));
+        assert!(v.on_byte(b','));
+        // And the automaton restarts cleanly.
+        assert!(!v.on_byte(b'9'));
+        assert!(!v.on_byte(b','));
+    }
+
+    #[test]
+    fn quoted_senml_values_are_tokens_too() {
+        // SenML stores numbers as strings; the raw filter doesn't care.
+        let mut v = NumberMatcher::new(float_bounds("0.7", "35.1"));
+        assert!(v.fired_in_record(br#"{"v":"21.5","u":"far"}"#));
+        assert!(!v.fired_in_record(br#"{"v":"35.2","u":"far"}"#));
+    }
+
+    #[test]
+    fn letters_with_e_do_not_false_fire() {
+        // 'e' is a number byte; "far"/"per" contain no digits though, and
+        // keys like "temperature" form letter runs with embedded 'e' —
+        // the DFA must reject all of them.
+        let mut v = NumberMatcher::new(NumberBounds::int_range(0, 9999999));
+        assert!(!v.fired_in_record(br#"{"n":"temperature"}"#));
+        assert!(!v.fired_in_record(br#"{"u":"per"}"#));
+    }
+
+    #[test]
+    fn exponent_tokens_accepted_approximately() {
+        let mut v = NumberMatcher::new(NumberBounds::int_range(10, 20));
+        assert!(v.fired_in_record(b"[999e9]"), "digit+e accepted, may be FP");
+        assert!(!v.fired_in_record(b"[999]"), "plain out-of-range rejected");
+    }
+
+    #[test]
+    fn timestamp_not_in_range() {
+        let mut v = NumberMatcher::new(NumberBounds::int_range(12, 49));
+        assert!(!v.fired_in_record(br#"{"bt":1422748800000}"#));
+        assert!(v.fired_in_record(br#"{"bt":1422748800000,"x":13}"#));
+    }
+
+    #[test]
+    fn token_at_record_end_fires_via_newline() {
+        // fired_in_record appends the newline the hardware sees.
+        let mut v = NumberMatcher::new(NumberBounds::int_range(1, 5));
+        assert!(v.fired_in_record(b"3"));
+    }
+
+    #[test]
+    fn negative_values() {
+        let mut v = NumberMatcher::new(float_bounds("-12.5", "43.1"));
+        assert!(v.fired_in_record(br#"{"v":"-12.5"}"#));
+        assert!(v.fired_in_record(br#"{"v":"-0.1"}"#));
+        assert!(!v.fired_in_record(br#"{"v":"-12.6"}"#));
+    }
+
+    #[test]
+    fn reset_mid_token() {
+        let mut v = NumberMatcher::new(NumberBounds::int_range(1, 5));
+        v.on_byte(b'3');
+        v.reset();
+        // After reset the pending token is forgotten.
+        assert!(!v.on_byte(b','));
+    }
+}

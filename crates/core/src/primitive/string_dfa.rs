@@ -1,0 +1,143 @@
+//! String-matching technique (i): a DFA accepting `.*needle`, stepping one
+//! character per cycle (§III-A).
+//!
+//! Determinising `.*needle` yields exactly the classic failure-function
+//! (KMP) automaton with N+1 states, so state count grows linearly but the
+//! state *register* only logarithmically — the paper's argument for the
+//! DFA variant on long strings.
+
+use super::FireFilter;
+use rfjson_redfa::{Dfa, Regex};
+use rfjson_rtl::components::ByteSet;
+
+/// Exact string matcher backed by a minimised DFA.
+///
+/// Fires on every byte at which `needle` ends in the stream.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_core::primitive::{DfaStringMatcher, FireFilter};
+///
+/// let mut m = DfaStringMatcher::new(b"temperature");
+/// assert!(m.fired_in_record(br#"{"n":"temperature"}"#));
+/// assert!(!m.fired_in_record(br#"{"n":"temperatur"}"#));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfaStringMatcher {
+    needle: Vec<u8>,
+    dfa: Dfa,
+    state: u16,
+}
+
+impl DfaStringMatcher {
+    /// Builds the matcher for `needle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `needle` is empty.
+    pub fn new(needle: &[u8]) -> Self {
+        assert!(!needle.is_empty(), "needle must not be empty");
+        let re = Regex::concat([
+            Regex::Class(ByteSet::full()).star(),
+            Regex::literal(needle),
+        ]);
+        let dfa = Dfa::from_regex(&re).minimized();
+        let state = dfa.start();
+        DfaStringMatcher {
+            needle: needle.to_vec(),
+            dfa,
+            state,
+        }
+    }
+
+    /// The search string.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// The underlying automaton (for elaboration and resource reports).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+}
+
+impl FireFilter for DfaStringMatcher {
+    fn on_byte(&mut self, b: u8) -> bool {
+        self.state = self.dfa.step(self.state, b);
+        self.dfa.is_accept(self.state)
+    }
+
+    fn reset(&mut self) {
+        self.state = self.dfa.start();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::exact_end_positions;
+
+    #[test]
+    fn automaton_has_n_plus_one_states() {
+        // "temperature" has no self-overlap issues that add states: the
+        // minimal .*needle automaton has N+1 states.
+        let m = DfaStringMatcher::new(b"temperature");
+        assert_eq!(m.dfa().num_states(), 12);
+        let m2 = DfaStringMatcher::new(b"aa");
+        assert_eq!(m2.dfa().num_states(), 3);
+    }
+
+    #[test]
+    fn fires_exactly_at_ends() {
+        let mut m = DfaStringMatcher::new(b"abc");
+        let record = b"zabcabcxabc";
+        assert_eq!(
+            m.fire_positions(record),
+            exact_end_positions(record, b"abc")
+        );
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let mut m = DfaStringMatcher::new(b"aba");
+        // "ababa" contains "aba" ending at 2 and 4 (overlap).
+        assert_eq!(m.fire_positions(b"ababa"), vec![2, 4]);
+    }
+
+    #[test]
+    fn reset_between_records() {
+        let mut m = DfaStringMatcher::new(b"ab");
+        // Prefix 'a' at end of record 1 must not combine with 'b' at the
+        // start of record 2 after a reset.
+        for &b in b"xa" {
+            m.on_byte(b);
+        }
+        m.reset();
+        assert!(!m.on_byte(b'b'));
+    }
+
+    #[test]
+    fn never_false_negative_on_random_strings() {
+        // Exhaustive over short alphabets: every exact occurrence fires.
+        let alphabet = b"ab";
+        let needle = b"aab";
+        let mut m = DfaStringMatcher::new(needle);
+        for len in 0..10usize {
+            let combos = (alphabet.len() as u32).pow(len as u32);
+            for mut k in 0..combos {
+                let mut s = Vec::with_capacity(len);
+                for _ in 0..len {
+                    s.push(alphabet[(k % 2) as usize]);
+                    k /= 2;
+                }
+                assert_eq!(
+                    m.fire_positions(&s),
+                    exact_end_positions(&s, needle),
+                    "input {:?}",
+                    String::from_utf8_lossy(&s)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! String-matching technique (iii): the paper's resource-saving
+//! **approximate** matcher (§III-A, Fig. 1, Table IV).
+//!
+//! Only the last B bytes of the stream are buffered and compared against
+//! *all* B-byte substrings of the needle. The OR-reduced comparator output
+//! feeds a counter that increments on every matching cycle and resets on a
+//! miss; the filter fires once the counter reaches N − B + 1 — i.e. after
+//! N − B + 1 consecutive windows that each look like *some* piece of the
+//! needle. Any true occurrence produces exactly that run (no false
+//! negatives); unrelated text occasionally does too (rare false
+//! positives — e.g. `total_amount` vs `s1("tolls_amount")`).
+
+use super::FireFilter;
+use std::error::Error;
+use std::fmt;
+
+/// A B-byte substring of the needle, with duplicate marking (Table IV
+/// prints duplicates in parentheses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Substring {
+    /// The block bytes.
+    pub bytes: Vec<u8>,
+    /// True if an identical block occurred earlier in the needle.
+    pub duplicate: bool,
+}
+
+/// All B-byte substrings of `needle` in order, duplicates marked — the
+/// comparator set of the matcher and the content of Table IV.
+///
+/// # Panics
+///
+/// Panics if `b` is zero or exceeds `needle.len()`.
+pub fn substrings(needle: &[u8], b: usize) -> Vec<Substring> {
+    assert!(b >= 1 && b <= needle.len(), "block length out of range");
+    let mut seen: Vec<&[u8]> = Vec::new();
+    needle
+        .windows(b)
+        .map(|w| {
+            let duplicate = seen.contains(&w);
+            seen.push(w);
+            Substring {
+                bytes: w.to_vec(),
+                duplicate,
+            }
+        })
+        .collect()
+}
+
+/// Error constructing a [`SubstringMatcher`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstringError {
+    /// Needle was empty.
+    EmptyNeedle,
+    /// Block length was zero or exceeded the needle length.
+    BadBlockLength {
+        /// Requested block length.
+        b: usize,
+        /// Needle length.
+        needle_len: usize,
+    },
+    /// Needle contained a NUL byte (indistinguishable from buffer init).
+    NulInNeedle,
+}
+
+impl fmt::Display for SubstringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubstringError::EmptyNeedle => write!(f, "needle must not be empty"),
+            SubstringError::BadBlockLength { b, needle_len } => {
+                write!(f, "block length {b} invalid for needle of {needle_len} bytes")
+            }
+            SubstringError::NulInNeedle => write!(f, "needle must not contain NUL"),
+        }
+    }
+}
+
+impl Error for SubstringError {}
+
+/// The approximate B-block substring matcher, `sB(needle)` in the paper's
+/// notation.
+///
+/// # Example
+///
+/// The `tolls_amount` / `total_amount` confusion of Table II:
+///
+/// ```
+/// use rfjson_core::primitive::{SubstringMatcher, FireFilter};
+///
+/// let mut s1 = SubstringMatcher::new(b"tolls_amount", 1)?;
+/// assert!(s1.fired_in_record(br#"{"total_amount":5.00}"#), "B=1 false positive");
+///
+/// let mut s2 = SubstringMatcher::new(b"tolls_amount", 2)?;
+/// assert!(!s2.fired_in_record(br#"{"total_amount":5.00}"#), "B=2 fixes it");
+/// assert!(s2.fired_in_record(br#"{"tolls_amount":5.00}"#));
+/// # Ok::<(), rfjson_core::primitive::SubstringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubstringMatcher {
+    needle: Vec<u8>,
+    b: usize,
+    /// Distinct comparator blocks (duplicates contribute no extra logic).
+    blocks: Vec<Vec<u8>>,
+    /// Fire threshold: N − B + 1 consecutive matching windows.
+    target: u32,
+    /// Circular buffer of the last B bytes.
+    buffer: Vec<u8>,
+    head: usize,
+    /// Bytes consumed so far (windows are only valid once B bytes arrived —
+    /// the zero-initialised hardware buffer can't match needles anyway, but
+    /// mirroring it keeps software/hardware cycle-identical).
+    counter: u32,
+}
+
+impl SubstringMatcher {
+    /// Builds `sB(needle)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubstringError`].
+    pub fn new(needle: &[u8], b: usize) -> Result<Self, SubstringError> {
+        if needle.is_empty() {
+            return Err(SubstringError::EmptyNeedle);
+        }
+        if needle.contains(&0) {
+            return Err(SubstringError::NulInNeedle);
+        }
+        if b == 0 || b > needle.len() {
+            return Err(SubstringError::BadBlockLength {
+                b,
+                needle_len: needle.len(),
+            });
+        }
+        let mut blocks: Vec<Vec<u8>> = Vec::new();
+        for s in substrings(needle, b) {
+            if !s.duplicate {
+                blocks.push(s.bytes);
+            }
+        }
+        Ok(SubstringMatcher {
+            needle: needle.to_vec(),
+            b,
+            blocks,
+            target: (needle.len() - b + 1) as u32,
+            buffer: vec![0; b],
+            head: 0,
+            counter: 0,
+        })
+    }
+
+    /// The search string.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// Block length B.
+    pub fn block_length(&self) -> usize {
+        self.b
+    }
+
+    /// The distinct comparator blocks.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Fire threshold N − B + 1.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    fn window_matches(&self) -> bool {
+        let n = self.buffer.len();
+        self.blocks.iter().any(|blk| {
+            (0..n).all(|i| self.buffer[(self.head + i) % n] == blk[i])
+        })
+    }
+}
+
+impl FireFilter for SubstringMatcher {
+    fn on_byte(&mut self, b: u8) -> bool {
+        self.buffer[self.head] = b;
+        self.head = (self.head + 1) % self.buffer.len();
+        if self.window_matches() {
+            self.counter = self.counter.saturating_add(1);
+        } else {
+            self.counter = 0;
+        }
+        self.counter >= self.target
+    }
+
+    fn reset(&mut self) {
+        self.buffer.fill(0);
+        self.head = 0;
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::exact_end_positions;
+
+    #[test]
+    fn table4_substrings_of_temperature() {
+        // Table IV, row B=1: duplicates are the second 'e', second 't',
+        // second 'r', third 'e'.
+        let s1 = substrings(b"temperature", 1);
+        let printed: Vec<(String, bool)> = s1
+            .iter()
+            .map(|s| (String::from_utf8(s.bytes.clone()).unwrap(), s.duplicate))
+            .collect();
+        assert_eq!(s1.len(), 11);
+        let dups: Vec<&str> = printed
+            .iter()
+            .filter(|(_, d)| *d)
+            .map(|(s, _)| s.as_str())
+            .collect();
+        // Table IV marks the second 'e', second 't', second 'r' and third
+        // 'e' as duplicates.
+        assert_eq!(dups, vec!["e", "t", "r", "e"]);
+        // Exactly the distinct letters remain:
+        let distinct: Vec<&str> = printed
+            .iter()
+            .filter(|(_, d)| !*d)
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert_eq!(distinct, vec!["t", "e", "m", "p", "r", "a", "u"]);
+
+        // Row B=2: all ten bigrams are distinct.
+        let s2 = substrings(b"temperature", 2);
+        assert_eq!(s2.len(), 10);
+        assert!(s2.iter().all(|s| !s.duplicate));
+        assert_eq!(s2[0].bytes, b"te");
+        assert_eq!(s2[9].bytes, b"re");
+
+        // Row B=n: the needle itself.
+        let sn = substrings(b"temperature", 11);
+        assert_eq!(sn.len(), 1);
+        assert_eq!(sn[0].bytes, b"temperature");
+    }
+
+    #[test]
+    fn no_false_negatives_all_blocks() {
+        // Property: wherever the needle truly ends, the matcher fires —
+        // for every valid block length.
+        let needle = b"temperature";
+        let record = br#"{"v":"35.2","u":"far","n":"temperature"}"#;
+        let ends = exact_end_positions(record, needle);
+        assert!(!ends.is_empty());
+        for b in 1..=needle.len() {
+            let mut m = SubstringMatcher::new(needle, b).unwrap();
+            let fires = m.fire_positions(record);
+            for e in &ends {
+                assert!(fires.contains(e), "B={b} missed end {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn b_equals_n_is_exact() {
+        use crate::primitive::WindowMatcher;
+        let needle = b"dust";
+        let mut s = SubstringMatcher::new(needle, needle.len()).unwrap();
+        let mut w = WindowMatcher::new(needle);
+        for record in [
+            &br#"{"n":"dust","v":"1"}"#[..],
+            b"ddusst dust dus",
+            b"industrial dusty",
+        ] {
+            assert_eq!(s.fire_positions(record), w.fire_positions(record));
+        }
+    }
+
+    #[test]
+    fn tolls_amount_anagram_false_positive() {
+        // The Table II phenomenon: every byte of "total_amount" is a letter
+        // of "tolls_amount", and it is 12 bytes long = N, so s1 fires.
+        let mut s1 = SubstringMatcher::new(b"tolls_amount", 1).unwrap();
+        assert!(s1.fired_in_record(b"\"total_amount\":19.13"));
+        // …but the fire position is spurious (no true occurrence).
+        let rec = b"\"total_amount\":19.13";
+        assert!(exact_end_positions(rec, b"tolls_amount").is_empty());
+    }
+
+    #[test]
+    fn counter_resets_on_miss() {
+        let mut m = SubstringMatcher::new(b"abc", 1).unwrap();
+        // "ab" then junk: the run counter must reset on the miss.
+        assert!(!m.on_byte(b'a'));
+        assert!(!m.on_byte(b'b'));
+        assert!(!m.on_byte(b'x'));
+        // Any 3-letter run from {a,b,c} then fires on its 3rd byte —
+        // approximate matching does not require needle order.
+        assert!(!m.on_byte(b'c'));
+        assert!(!m.on_byte(b'a'));
+        assert!(m.on_byte(b'b'));
+    }
+
+    #[test]
+    fn prefix_run_fires_continuously() {
+        // Runs longer than the needle keep firing — "users" fires at
+        // "user" AND at the trailing 's' (the spurious-extension effect).
+        let mut m = SubstringMatcher::new(b"user", 1).unwrap();
+        assert_eq!(m.fire_positions(b"users"), vec![3, 4]);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            SubstringMatcher::new(b"", 1).unwrap_err(),
+            SubstringError::EmptyNeedle
+        );
+        assert!(matches!(
+            SubstringMatcher::new(b"ab", 3).unwrap_err(),
+            SubstringError::BadBlockLength { .. }
+        ));
+        assert!(matches!(
+            SubstringMatcher::new(b"ab", 0).unwrap_err(),
+            SubstringError::BadBlockLength { .. }
+        ));
+        assert_eq!(
+            SubstringMatcher::new(b"a\0", 1).unwrap_err(),
+            SubstringError::NulInNeedle
+        );
+        let e = SubstringMatcher::new(b"ab", 3).unwrap_err();
+        assert!(e.to_string().contains("block length"));
+    }
+
+    #[test]
+    fn duplicate_blocks_share_comparators() {
+        let m = SubstringMatcher::new(b"temperature", 1).unwrap();
+        assert_eq!(m.blocks().len(), 7, "7 distinct letters");
+        let m2 = SubstringMatcher::new(b"temperature", 2).unwrap();
+        assert_eq!(m2.blocks().len(), 10);
+    }
+}

@@ -1,0 +1,130 @@
+//! String-matching technique (ii): buffer the last N bytes and compare all
+//! of them against the needle every cycle (§III-A).
+//!
+//! Exact like the DFA, but trades flip-flops (8·N of them) for simple
+//! comparator logic — the paper finds it cheaper for short strings, with
+//! cost growing quickly as N grows.
+
+use super::FireFilter;
+
+/// Exact full-length window comparator.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_core::primitive::{WindowMatcher, FireFilter};
+///
+/// let mut m = WindowMatcher::new(b"dust");
+/// assert!(m.fired_in_record(br#"{"n":"dust"}"#));
+/// assert!(!m.fired_in_record(br#"{"n":"dusk"}"#));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowMatcher {
+    needle: Vec<u8>,
+    /// Circular buffer of the last N bytes (zero-initialised, like the
+    /// hardware shift register).
+    buffer: Vec<u8>,
+    head: usize,
+}
+
+impl WindowMatcher {
+    /// Builds the matcher for `needle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `needle` is empty or contains a NUL byte (the hardware
+    /// zero-initialised buffer makes NUL indistinguishable from "empty").
+    pub fn new(needle: &[u8]) -> Self {
+        assert!(!needle.is_empty(), "needle must not be empty");
+        assert!(
+            !needle.contains(&0),
+            "needle must not contain NUL (buffer init value)"
+        );
+        WindowMatcher {
+            needle: needle.to_vec(),
+            buffer: vec![0; needle.len()],
+            head: 0,
+        }
+    }
+
+    /// The search string.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+}
+
+impl FireFilter for WindowMatcher {
+    fn on_byte(&mut self, b: u8) -> bool {
+        self.buffer[self.head] = b;
+        self.head = (self.head + 1) % self.buffer.len();
+        // buffer oldest..newest must equal needle
+        let n = self.buffer.len();
+        (0..n).all(|i| self.buffer[(self.head + i) % n] == self.needle[i])
+    }
+
+    fn reset(&mut self) {
+        self.buffer.fill(0);
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::exact_end_positions;
+
+    #[test]
+    fn fires_exactly_at_ends() {
+        let mut m = WindowMatcher::new(b"abc");
+        let record = b"zabcabcxabc";
+        assert_eq!(
+            m.fire_positions(record),
+            exact_end_positions(record, b"abc")
+        );
+    }
+
+    #[test]
+    fn agrees_with_dfa_matcher() {
+        use crate::primitive::DfaStringMatcher;
+        let needles: [&[u8]; 4] = [b"aa", b"aba", b"tolls_amount", b"x"];
+        let records: [&[u8]; 4] = [
+            b"aaaa",
+            b"abababa",
+            br#"{"tolls_amount":0.00,"total_amount":5.00}"#,
+            b"",
+        ];
+        for needle in needles {
+            let mut w = WindowMatcher::new(needle);
+            let mut d = DfaStringMatcher::new(needle);
+            for record in records {
+                assert_eq!(
+                    w.fire_positions(record),
+                    d.fire_positions(record),
+                    "needle {:?} record {:?}",
+                    needle,
+                    record
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_needle() {
+        let mut m = WindowMatcher::new(b"u");
+        assert_eq!(m.fire_positions(b"dust"), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NUL")]
+    fn nul_needle_rejected() {
+        let _ = WindowMatcher::new(b"a\0b");
+    }
+
+    #[test]
+    fn reset_clears_buffer() {
+        let mut m = WindowMatcher::new(b"ab");
+        m.on_byte(b'a');
+        m.reset();
+        assert!(!m.on_byte(b'b'), "prefix must not survive reset");
+    }
+}

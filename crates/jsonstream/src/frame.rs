@@ -1,0 +1,133 @@
+//! Record framing for newline-delimited JSON streams.
+//!
+//! RiotBench (and most IoT ingestion paths) stream one JSON record per
+//! line. The raw-filter hardware needs the same framing to know when to
+//! reset per-record state, so framing lives here in the substrate.
+
+/// Iterator over the records of a newline-delimited JSON byte stream.
+/// Empty lines are skipped; the trailing record does not need a newline.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::frame::split_records;
+///
+/// let stream = b"{\"a\":1}\n\n{\"a\":2}";
+/// let recs: Vec<&[u8]> = split_records(stream).collect();
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[1], br#"{"a":2}"#);
+/// ```
+pub fn split_records(stream: &[u8]) -> impl Iterator<Item = &[u8]> {
+    stream
+        .split(|&b| b == b'\n')
+        .map(trim_cr)
+        .filter(|r| !r.is_empty())
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+/// Streaming version of [`split_records`]: feed arbitrary chunks, get
+/// complete records out. Used by the system-architecture model, which
+/// receives DMA bursts rather than whole files.
+#[derive(Debug, Default, Clone)]
+pub struct FrameAssembler {
+    pending: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// New assembler with no pending bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes a chunk, invoking `sink` for every completed record.
+    pub fn push_chunk(&mut self, chunk: &[u8], mut sink: impl FnMut(&[u8])) {
+        for &b in chunk {
+            if b == b'\n' {
+                let record = trim_cr(&self.pending);
+                if !record.is_empty() {
+                    sink(record);
+                }
+                self.pending.clear();
+            } else {
+                self.pending.push(b);
+            }
+        }
+    }
+
+    /// Flushes the trailing record (stream end without newline).
+    pub fn finish(&mut self, mut sink: impl FnMut(&[u8])) {
+        let record = trim_cr(&self.pending);
+        if !record.is_empty() {
+            sink(record);
+        }
+        self.pending.clear();
+    }
+
+    /// Bytes buffered awaiting a newline.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_basic() {
+        let recs: Vec<&[u8]> = split_records(b"a\nbb\nccc\n").collect();
+        assert_eq!(recs, vec![&b"a"[..], b"bb", b"ccc"]);
+    }
+
+    #[test]
+    fn split_handles_missing_trailing_newline_and_crlf() {
+        let recs: Vec<&[u8]> = split_records(b"a\r\nb").collect();
+        assert_eq!(recs, vec![&b"a"[..], b"b"]);
+    }
+
+    #[test]
+    fn split_skips_empty_lines() {
+        let recs: Vec<&[u8]> = split_records(b"\n\na\n\n\nb\n\n").collect();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn assembler_reassembles_across_chunks() {
+        let stream = b"{\"a\":1}\n{\"b\":2}\n{\"c\":3}";
+        for chunk_size in [1, 2, 3, 5, 7, 100] {
+            let mut asm = FrameAssembler::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                asm.push_chunk(chunk, |r| got.push(r.to_vec()));
+            }
+            asm.finish(|r| got.push(r.to_vec()));
+            assert_eq!(
+                got,
+                vec![
+                    br#"{"a":1}"#.to_vec(),
+                    br#"{"b":2}"#.to_vec(),
+                    br#"{"c":3}"#.to_vec()
+                ],
+                "chunk size {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn assembler_pending_accounting() {
+        let mut asm = FrameAssembler::new();
+        asm.push_chunk(b"abc", |_| panic!("no record yet"));
+        assert_eq!(asm.pending_len(), 3);
+        let mut n = 0;
+        asm.push_chunk(b"\n", |_| n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(asm.pending_len(), 0);
+        asm.finish(|_| panic!("nothing pending"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # rfjson-jsonstream — streaming JSON substrate and reference parser
+//!
+//! Raw filters inspect JSON **as a byte stream**, without parsing. The two
+//! stream-level facts the paper's structural awareness needs (§III-C) are
+//! provided here exactly as the hardware derives them:
+//!
+//! * [`mask::StringMask`] — which bytes lie inside string literals
+//!   (quote/escape/escaped-escape tracking, one byte per cycle);
+//! * [`nesting::NestingTracker`] — the JSON nesting level, counting only
+//!   *unmasked* brackets.
+//!
+//! The crate also contains the very thing raw filtering protects the CPU
+//! from running too often: a complete recursive-descent JSON parser
+//! ([`parser`], [`value::Value`]) used as the ground-truth oracle for
+//! false-positive measurement and as the downstream "costly parse" in the
+//! end-to-end benchmarks, plus a writer ([`mod@write`]) used by the workload
+//! generators, and record framing ([`frame`]) for newline-delimited streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod mask;
+pub mod nesting;
+pub mod parser;
+pub mod value;
+pub mod write;
+
+pub use mask::StringMask;
+pub use nesting::NestingTracker;
+pub use parser::{parse, ParseJsonError};
+pub use value::Value;

@@ -1,0 +1,152 @@
+//! Streaming string-mask detection.
+//!
+//! The paper (§III-C): *"it's necessary to detect if a bracket is part of a
+//! string … Detecting strings, however, requires checking if a quote `"` is
+//! escaped by a `\` character. And `\` can again be escaped by `\\`. This
+//! information can then be used to build a string mask."*
+//!
+//! [`StringMask`] is that logic, byte-serial exactly like the hardware:
+//! two bits of state (inside-string, pending-escape).
+
+/// Byte-serial string-mask tracker.
+///
+/// A byte is **masked** when it belongs to a string literal — including
+/// both the opening and the closing quote — and must therefore be ignored
+/// by structural logic (bracket counting, comma detection).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::StringMask;
+///
+/// let mut m = StringMask::new();
+/// let masked: Vec<bool> = br#"{"a":1}"#.iter().map(|&b| m.on_byte(b)).collect();
+/// assert_eq!(masked, vec![false, true, true, true, false, false, false]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringMask {
+    in_string: bool,
+    escaped: bool,
+}
+
+impl StringMask {
+    /// A tracker in the initial (outside any string) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one byte; returns `true` if that byte is part of a string
+    /// literal (masked).
+    pub fn on_byte(&mut self, b: u8) -> bool {
+        if self.in_string {
+            if self.escaped {
+                self.escaped = false;
+            } else if b == b'\\' {
+                self.escaped = true;
+            } else if b == b'"' {
+                self.in_string = false;
+            }
+            true
+        } else {
+            if b == b'"' {
+                self.in_string = true;
+                return true; // the opening quote is part of the literal
+            }
+            false
+        }
+    }
+
+    /// Is the tracker currently inside a string literal?
+    pub fn in_string(&self) -> bool {
+        self.in_string
+    }
+
+    /// Returns to the initial state (record boundary).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Convenience: the mask of every byte of `input`.
+    pub fn mask_of(input: &[u8]) -> Vec<bool> {
+        let mut m = StringMask::new();
+        input.iter().map(|&b| m.on_byte(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_string_region() {
+        let mask = StringMask::mask_of(br#"x"ab"y"#);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside() {
+        //           " a \ " b "
+        let mask = StringMask::mask_of(br#""a\"b""#);
+        assert_eq!(mask, vec![true; 6]);
+        let mut m = StringMask::new();
+        for &b in br#""a\"b""#.iter() {
+            m.on_byte(b);
+        }
+        assert!(!m.in_string(), "string closed at the real quote");
+    }
+
+    #[test]
+    fn escaped_backslash_then_quote_closes() {
+        // "a\\" — the backslash is escaped, so the final quote closes.
+        let input = br#""a\\""#;
+        let mask = StringMask::mask_of(input);
+        assert_eq!(mask, vec![true; 5]);
+        let mut m = StringMask::new();
+        for &b in input.iter() {
+            m.on_byte(b);
+        }
+        assert!(!m.in_string());
+    }
+
+    #[test]
+    fn brackets_inside_strings_are_masked() {
+        let input = br#"{"k":"{[}]","n":1}"#;
+        let mask = StringMask::mask_of(input);
+        // Positions of the structural braces: first and last byte.
+        assert!(!mask[0]);
+        assert!(!mask[input.len() - 1]);
+        // The bracket characters inside the value string are masked.
+        let inner = &input[5..11]; // "{[}]"
+        assert_eq!(inner[0], b'"');
+        for (i, _) in inner.iter().enumerate() {
+            assert!(mask[5 + i], "byte {} should be masked", 5 + i);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = StringMask::new();
+        m.on_byte(b'"');
+        assert!(m.in_string());
+        m.reset();
+        assert!(!m.in_string());
+        assert!(!m.on_byte(b'x'));
+    }
+
+    #[test]
+    fn long_escape_chains() {
+        // Even numbers of backslashes don't escape the closing quote;
+        // odd numbers do.
+        for (s, closed) in [
+            (&br#""\\""#[..], true),   // "\\"  -> closed
+            (br#""\\\""#, false),      // "\\\" -> still open (quote escaped)
+            (br#""\\\\""#, true),      // "\\\\" -> closed
+        ] {
+            let mut m = StringMask::new();
+            for &b in s.iter() {
+                m.on_byte(b);
+            }
+            assert_eq!(!m.in_string(), closed, "input {:?}", s);
+        }
+    }
+}

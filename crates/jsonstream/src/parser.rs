@@ -1,0 +1,406 @@
+//! Recursive-descent JSON parser — the "costly CPU parse" raw filtering
+//! avoids, and the ground-truth oracle for false-positive measurement.
+//!
+//! Strict RFC 8259 syntax: no trailing commas, no comments, numbers without
+//! leading zeros, `\uXXXX` escapes with surrogate pairs.
+
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// Byte offset at which parsing failed.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseJsonError {}
+
+/// Parses one complete JSON document from `input`.
+///
+/// # Errors
+///
+/// Returns [`ParseJsonError`] on any syntax violation, including trailing
+/// non-whitespace input.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::{parse, Value};
+///
+/// let v = parse(br#"{"v":"35.2","n":"temperature"}"#)?;
+/// assert_eq!(v.get("n").and_then(Value::as_str), Some("temperature"));
+/// # Ok::<(), rfjson_jsonstream::ParseJsonError>(())
+/// ```
+pub fn parse(input: &[u8]) -> Result<Value, ParseJsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseJsonError {
+        ParseJsonError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseJsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseJsonError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword(b"true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword(b"false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword(b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &[u8], value: Value) -> Result<Value, ParseJsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!(
+                "invalid literal, expected `{}`",
+                String::from_utf8_lossy(word)
+            )))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(members)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `}`"));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `]`"));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseJsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    None => return Err(self.err("unterminated escape")),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        if (0xD800..=0xDBFF).contains(&cp) {
+                            // High surrogate: require a following \uXXXX low.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            out.push(
+                                char::from_u32(c).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                        } else if (0xDC00..=0xDFFF).contains(&cp) {
+                            return Err(self.err("unpaired low surrogate"));
+                        } else {
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                        }
+                    }
+                    Some(c) => return Err(self.err(format!("bad escape `\\{}`", c as char))),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Copy UTF-8 bytes through (validated lazily).
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    if len == 0 || start + len > self.input.len() {
+                        return Err(self.err("invalid utf-8"));
+                    }
+                    let chunk = &self.input[start..start + len];
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let x = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a' + 10),
+                b'A'..=b'F' => u32::from(d - b'A' + 10),
+                _ => return Err(self.err("bad hex digit")),
+            };
+            v = v << 4 | x;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        // Integer part: 0 | [1-9][0-9]*
+        match self.bump() {
+            Some(b'0') => {}
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("invalid number"));
+            }
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number bytes are ascii");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC2..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF4 => 4,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse(b"null").unwrap(), Value::Null);
+        assert_eq!(parse(b"true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(b"false").unwrap(), Value::Bool(false));
+        assert_eq!(parse(b"42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse(b"-3.5").unwrap(), Value::Number(-3.5));
+        assert_eq!(parse(b"2.1e3").unwrap(), Value::Number(2100.0));
+        assert_eq!(parse(b"1E-2").unwrap(), Value::Number(0.01));
+        assert_eq!(parse(br#""hi""#).unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn listing1_record_parses() {
+        // The running example of the paper (shortened).
+        let rec = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"}],"bt":1422748800000}"#;
+        let v = parse(rec).unwrap();
+        let e = v.get("e").and_then(Value::as_array).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].get("n").and_then(Value::as_str), Some("temperature"));
+        assert_eq!(e[0].get("v").and_then(Value::as_numeric), Some(35.2));
+        assert_eq!(v.get("bt").and_then(Value::as_f64), Some(1422748800000.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(br#""a\"b\\c\/d\n\t""#).unwrap(),
+            Value::from("a\"b\\c/d\n\t")
+        );
+        assert_eq!(parse(br#""A""#).unwrap(), Value::from("A"));
+        assert_eq!(parse("\"é\"".as_bytes()).unwrap(), Value::from("é"));
+        // Surrogate pair escape for U+1F600 and the raw UTF-8 form.
+        assert_eq!(parse(br#""\ud83d\ude00""#).unwrap(), Value::from("😀"));
+        assert_eq!(parse("\"😀\"".as_bytes()).unwrap(), Value::from("😀"));
+    }
+
+    #[test]
+    fn escape_errors() {
+        assert!(parse(br#""\x""#).is_err());
+        assert!(parse(br#""\u12"#).is_err());
+        assert!(parse(br#""\ud83d""#).is_err(), "unpaired surrogate");
+        assert!(parse(br#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse(b"\"abc").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn number_syntax_strictness() {
+        assert!(parse(b"01").is_err(), "leading zero");
+        assert!(parse(b"1.").is_err());
+        assert!(parse(b".5").is_err());
+        assert!(parse(b"1e").is_err());
+        assert!(parse(b"+1").is_err());
+        assert!(parse(b"--1").is_err());
+        assert_eq!(parse(b"0.5").unwrap(), Value::Number(0.5));
+        assert_eq!(parse(b"0").unwrap(), Value::Number(0.0));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(parse(b"{").is_err());
+        assert!(parse(b"[1,").is_err());
+        assert!(parse(b"[1,]").is_err());
+        assert!(parse(br#"{"a" 1}"#).is_err());
+        assert!(parse(br#"{"a":1,}"#).is_err());
+        assert!(parse(b"[] []").is_err(), "trailing tokens");
+        assert!(parse(b"").is_err());
+        let e = parse(b"[1,]").unwrap_err();
+        assert!(e.position > 0 && e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = parse(b" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.get("a").and_then(|a| a.index(1)), Some(&Value::Number(2.0)));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::new();
+        for _ in 0..100 {
+            s.push('[');
+        }
+        s.push('1');
+        for _ in 0..100 {
+            s.push(']');
+        }
+        let mut v = parse(s.as_bytes()).unwrap();
+        for _ in 0..100 {
+            v = v.index(0).unwrap().clone();
+        }
+        assert_eq!(v, Value::Number(1.0));
+    }
+
+    #[test]
+    fn control_chars_rejected() {
+        assert!(parse(b"\"a\nb\"").is_err());
+        assert!(parse(b"\"a\tb\"").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Compact JSON serialisation (used by the workload generators and for
+//! `Value` round-trip tests).
+
+use crate::value::Value;
+
+/// Serialises `value` as compact JSON (no insignificant whitespace).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::{parse, write::to_string};
+///
+/// let v = parse(br#"{ "a" : [ 1 , "x" ] }"#)?;
+/// assert_eq!(to_string(&v), r#"{"a":[1,"x"]}"#);
+/// # Ok::<(), rfjson_jsonstream::ParseJsonError>(())
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a number the way JSON sources usually carry it: integral values
+/// without a fraction, others in shortest round-trip form.
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; degrade gracefully
+        return;
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+/// Writes a string literal with minimal escaping.
+pub fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_structures() {
+        for src in [
+            r#"{"a":[1,2,{"b":"x"}],"c":null,"d":true}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"{"v":"35.2","u":"far","n":"temperature"}"#,
+            r#"[0.5,-3,1e30]"#,
+        ] {
+            let v = parse(src.as_bytes()).unwrap();
+            let s = to_string(&v);
+            let v2 = parse(s.as_bytes()).unwrap();
+            assert_eq!(v, v2, "round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn escapes_are_emitted() {
+        let v = Value::from("a\"b\\c\nd\u{0001}");
+        let s = to_string(&v);
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+        assert_eq!(parse(s.as_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_numbers_have_no_fraction() {
+        assert_eq!(to_string(&Value::Number(1422748800000.0)), "1422748800000");
+        assert_eq!(to_string(&Value::Number(0.5)), "0.5");
+        assert_eq!(to_string(&Value::Number(-7.0)), "-7");
+    }
+
+    #[test]
+    fn nonfinite_degrades_to_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn display_uses_writer() {
+        let v = parse(br#"{"a":1}"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"a":1}"#);
+    }
+}

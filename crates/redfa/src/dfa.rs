@@ -1,0 +1,477 @@
+//! Deterministic finite automata with byte-class compression.
+//!
+//! A [`Dfa`] is **complete** (every state has a transition for every byte)
+//! and operates on compressed input classes: bytes that behave identically
+//! everywhere share a class id, so the transition table is
+//! `num_states × num_classes` — the same sharing a synthesis tool exploits
+//! when the automaton becomes hardware.
+
+use crate::minimize;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use rfjson_rtl::components::ByteSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complete DFA over bytes.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_redfa::{Dfa, Regex};
+///
+/// let re: Regex = "[1-9][0-9]*".parse()?;
+/// let dfa = Dfa::from_regex(&re).minimized();
+/// assert!(dfa.accepts(b"907"));
+/// assert!(!dfa.accepts(b"0907"));
+/// # Ok::<(), rfjson_redfa::regex::ParseRegexError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// `class_of[b]` is the input class of byte `b`.
+    class_of: [u8; 256],
+    /// Number of distinct classes.
+    num_classes: usize,
+    /// Row-major transition table: `trans[s * num_classes + c]`.
+    trans: Vec<u16>,
+    /// Acceptance flag per state.
+    accept: Vec<bool>,
+    /// Start state.
+    start: u16,
+}
+
+impl Dfa {
+    /// Builds a DFA from a regex (Thompson + subset construction).
+    /// The result is complete but not minimal; call [`Dfa::minimized`].
+    pub fn from_regex(regex: &Regex) -> Dfa {
+        Self::from_nfa(&Nfa::from_regex(regex))
+    }
+
+    /// Subset construction from an NFA.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        // 1. Alphabet partition: bytes with identical NFA-transition
+        //    behaviour share a class.
+        let mut sets: Vec<&ByteSet> = Vec::new();
+        for moves in &nfa.moves {
+            for (set, _) in moves {
+                sets.push(set);
+            }
+        }
+        let (class_of, num_classes, class_sets) = partition_alphabet(&sets);
+
+        // 2. Subset construction over classes.
+        let mut subset_index: HashMap<Vec<usize>, u16> = HashMap::new();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut trans: Vec<u16> = Vec::new();
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        subset_index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+        let mut work = vec![0u16];
+        while let Some(s) = work.pop() {
+            let subset = subsets[s as usize].clone();
+            // Ensure row space.
+            let row = s as usize * num_classes;
+            if trans.len() < row + num_classes {
+                trans.resize(row + num_classes, 0);
+            }
+            for c in 0..num_classes {
+                let probe = class_sets[c]
+                    .iter()
+                    .next()
+                    .expect("classes are non-empty by construction");
+                let mut next: Vec<usize> = Vec::new();
+                for &st in &subset {
+                    for (set, t) in &nfa.moves[st] {
+                        if set.contains(probe) {
+                            next.push(*t);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                let closure = nfa.eps_closure(&next);
+                let id = match subset_index.get(&closure) {
+                    Some(&id) => id,
+                    None => {
+                        let id = u16::try_from(subsets.len()).expect("DFA too large");
+                        subset_index.insert(closure.clone(), id);
+                        subsets.push(closure);
+                        work.push(id);
+                        id
+                    }
+                };
+                trans[row + c] = id;
+            }
+        }
+        let num_states = subsets.len();
+        trans.resize(num_states * num_classes, 0);
+        let accept = subsets
+            .iter()
+            .map(|sub| sub.contains(&nfa.accept))
+            .collect();
+        Dfa {
+            class_of,
+            num_classes,
+            trans,
+            accept,
+            start: 0,
+        }
+        .normalized()
+    }
+
+    /// Builds a DFA directly from explicit parts (used by the minimiser and
+    /// the product constructions).
+    pub(crate) fn from_parts(
+        class_of: [u8; 256],
+        num_classes: usize,
+        trans: Vec<u16>,
+        accept: Vec<bool>,
+        start: u16,
+    ) -> Dfa {
+        debug_assert_eq!(trans.len(), accept.len() * num_classes);
+        Dfa {
+            class_of,
+            num_classes,
+            trans,
+            accept,
+            start,
+        }
+        .normalized()
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Number of input classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u16 {
+        self.start
+    }
+
+    /// Is `state` accepting?
+    pub fn is_accept(&self, state: u16) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// Input class of a byte.
+    pub fn class_of(&self, byte: u8) -> u8 {
+        self.class_of[byte as usize]
+    }
+
+    /// The byte set forming input class `c`.
+    pub fn class_set(&self, c: u8) -> ByteSet {
+        let mut s = ByteSet::new();
+        for b in 0u16..256 {
+            if self.class_of[b as usize] == c {
+                s.insert(b as u8);
+            }
+        }
+        s
+    }
+
+    /// One transition step.
+    pub fn step(&self, state: u16, byte: u8) -> u16 {
+        let c = self.class_of[byte as usize] as usize;
+        self.trans[state as usize * self.num_classes + c]
+    }
+
+    /// Transition by class id (used by elaboration).
+    pub fn step_class(&self, state: u16, class: u8) -> u16 {
+        self.trans[state as usize * self.num_classes + class as usize]
+    }
+
+    /// Runs the DFA over `input` from the start state; returns the final
+    /// state.
+    pub fn run(&self, input: &[u8]) -> u16 {
+        let mut s = self.start;
+        for &b in input {
+            s = self.step(s, b);
+        }
+        s
+    }
+
+    /// Whole-input acceptance.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accept(self.run(input))
+    }
+
+    /// Minimised equivalent DFA (unreachable-state removal + partition
+    /// refinement).
+    #[must_use]
+    pub fn minimized(&self) -> Dfa {
+        minimize::minimize(self)
+    }
+
+    /// Language intersection via the product construction (only reachable
+    /// product states are built).
+    #[must_use]
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union via the product construction.
+    #[must_use]
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language complement (flips acceptance; the DFA is already complete).
+    #[must_use]
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accept {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// True if the language of `self` is empty (no reachable accept state).
+    pub fn is_empty_language(&self) -> bool {
+        !self.reachable().iter().any(|&s| self.accept[s as usize])
+    }
+
+    /// Reachable states from start, in BFS order.
+    fn reachable(&self) -> Vec<u16> {
+        let mut seen = vec![false; self.num_states()];
+        let mut order = vec![self.start];
+        seen[self.start as usize] = true;
+        let mut i = 0;
+        while i < order.len() {
+            let s = order[i];
+            i += 1;
+            for c in 0..self.num_classes {
+                let t = self.trans[s as usize * self.num_classes + c];
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    order.push(t);
+                }
+            }
+        }
+        order
+    }
+
+    fn product(&self, other: &Dfa, combine: fn(bool, bool) -> bool) -> Dfa {
+        // Refined alphabet partition: a product class is a pair of classes.
+        let mut pair_index: HashMap<(u8, u8), u8> = HashMap::new();
+        let mut class_of = [0u8; 256];
+        let mut pairs: Vec<(u8, u8)> = Vec::new();
+        for b in 0u16..256 {
+            let key = (self.class_of[b as usize], other.class_of[b as usize]);
+            let id = *pair_index.entry(key).or_insert_with(|| {
+                pairs.push(key);
+                u8::try_from(pairs.len() - 1).expect("≤256 classes")
+            });
+            class_of[b as usize] = id;
+        }
+        let num_classes = pairs.len();
+
+        let mut state_index: HashMap<(u16, u16), u16> = HashMap::new();
+        let mut states: Vec<(u16, u16)> = vec![(self.start, other.start)];
+        state_index.insert((self.start, other.start), 0);
+        let mut trans: Vec<u16> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut i = 0;
+        while i < states.len() {
+            let (sa, sb) = states[i];
+            accept.push(combine(self.accept[sa as usize], other.accept[sb as usize]));
+            for &(ca, cb) in pairs.iter().take(num_classes) {
+                let ta = self.step_class(sa, ca);
+                let tb = other.step_class(sb, cb);
+                let id = match state_index.get(&(ta, tb)) {
+                    Some(&id) => id,
+                    None => {
+                        let id = u16::try_from(states.len()).expect("product DFA too large");
+                        state_index.insert((ta, tb), id);
+                        states.push((ta, tb));
+                        id
+                    }
+                };
+                trans.push(id);
+            }
+            i += 1;
+        }
+        Dfa::from_parts(class_of, num_classes, trans, accept, 0)
+    }
+
+    /// Merges identical transition-table columns (classes that became
+    /// indistinguishable) and renumbers classes canonically by their lowest
+    /// byte. Called by every constructor.
+    #[must_use]
+    fn normalized(self) -> Dfa {
+        let n = self.num_states();
+        // Signature of a class = its transition column.
+        let mut col_index: HashMap<Vec<u16>, u8> = HashMap::new();
+        let mut old_to_new: Vec<u8> = vec![0; self.num_classes];
+        let mut new_cols: Vec<Vec<u16>> = Vec::new();
+        for (c, slot) in old_to_new.iter_mut().enumerate() {
+            let col: Vec<u16> = (0..n).map(|s| self.trans[s * self.num_classes + c]).collect();
+            *slot = *col_index.entry(col.clone()).or_insert_with(|| {
+                new_cols.push(col);
+                u8::try_from(new_cols.len() - 1).expect("≤256 classes")
+            });
+        }
+        let num_classes = new_cols.len();
+        let mut class_of = [0u8; 256];
+        for b in 0..256 {
+            class_of[b] = old_to_new[self.class_of[b] as usize];
+        }
+        let mut trans = vec![0u16; n * num_classes];
+        for s in 0..n {
+            for (c, col) in new_cols.iter().enumerate() {
+                trans[s * num_classes + c] = col[s];
+            }
+        }
+        Dfa {
+            class_of,
+            num_classes,
+            trans,
+            accept: self.accept,
+            start: self.start,
+        }
+    }
+}
+
+impl fmt::Display for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dfa: {} states, {} classes, start s{}",
+            self.num_states(),
+            self.num_classes,
+            self.start
+        )?;
+        for s in 0..self.num_states() as u16 {
+            let marker = if self.is_accept(s) { "*" } else { " " };
+            write!(f, " {marker}s{s}:")?;
+            for c in 0..self.num_classes as u8 {
+                write!(f, " {:?}->s{}", self.class_set(c), self.step_class(s, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Partitions the byte alphabet into equivalence classes with respect to a
+/// set of [`ByteSet`]s: two bytes share a class iff they are members of
+/// exactly the same sets. Returns `(class_of, num_classes, class_sets)`.
+fn partition_alphabet(sets: &[&ByteSet]) -> ([u8; 256], usize, Vec<ByteSet>) {
+    let mut sig_index: HashMap<Vec<bool>, u8> = HashMap::new();
+    let mut class_of = [0u8; 256];
+    let mut class_sets: Vec<ByteSet> = Vec::new();
+    for b in 0u16..256 {
+        let b = b as u8;
+        let sig: Vec<bool> = sets.iter().map(|s| s.contains(b)).collect();
+        let id = *sig_index.entry(sig).or_insert_with(|| {
+            class_sets.push(ByteSet::new());
+            u8::try_from(class_sets.len() - 1).expect("≤256 classes")
+        });
+        class_of[b as usize] = id;
+        class_sets[id as usize].insert(b);
+    }
+    (class_of, class_sets.len(), class_sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Dfa::from_regex(&pattern.parse().expect("pattern parses"))
+    }
+
+    #[test]
+    fn matches_nfa_reference() {
+        let patterns = [
+            "abc",
+            "(ab|c)*",
+            "a+b?c*",
+            "[0-9]{1,3}",
+            "(3[5-9])|([4-9][0-9])|([1-9][0-9]{2,})",
+        ];
+        let inputs: Vec<&[u8]> = vec![
+            b"", b"a", b"ab", b"abc", b"c", b"cab", b"35", b"34", b"120", b"0", b"999", b"aaa",
+        ];
+        for p in patterns {
+            let d = dfa(p);
+            let n = Nfa::from_regex(&p.parse().unwrap());
+            for &i in &inputs {
+                assert_eq!(d.accepts(i), n.accepts(i), "pattern {p} input {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_compression_is_tight() {
+        // [0-9]+ needs exactly 2 classes: digits and everything else.
+        let d = dfa("[0-9]+");
+        assert_eq!(d.num_classes(), 2);
+        let digit_class = d.class_of(b'5');
+        assert_eq!(d.class_of(b'0'), digit_class);
+        assert_ne!(d.class_of(b'x'), digit_class);
+        assert_eq!(d.class_set(digit_class), ByteSet::from_range(b'0', b'9'));
+    }
+
+    #[test]
+    fn completeness() {
+        let d = dfa("ab");
+        // Every state must have a transition for every byte (run anything).
+        let s = d.run(b"zzz\xff\x00");
+        assert!(!d.is_accept(s));
+    }
+
+    #[test]
+    fn intersection() {
+        // [0-9]+ ∩ .{2} = two digits.
+        let a = dfa("[0-9]+");
+        let b = dfa(".{2}");
+        let i = a.intersect(&b).minimized();
+        assert!(i.accepts(b"42"));
+        assert!(!i.accepts(b"4"));
+        assert!(!i.accepts(b"421"));
+        assert!(!i.accepts(b"4x"));
+    }
+
+    #[test]
+    fn union() {
+        let a = dfa("cat");
+        let b = dfa("dog");
+        let u = a.union(&b).minimized();
+        assert!(u.accepts(b"cat"));
+        assert!(u.accepts(b"dog"));
+        assert!(!u.accepts(b"cow"));
+    }
+
+    #[test]
+    fn complement_total() {
+        let d = dfa("a+");
+        let c = d.complement();
+        assert!(!c.accepts(b"aa"));
+        assert!(c.accepts(b""));
+        assert!(c.accepts(b"b"));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let d = Dfa::from_regex(&Regex::Empty);
+        assert!(d.is_empty_language());
+        let a = dfa("a");
+        let b = dfa("b");
+        assert!(a.intersect(&b).is_empty_language());
+        assert!(!a.union(&b).is_empty_language());
+    }
+
+    #[test]
+    fn display_shows_states() {
+        let d = dfa("a").minimized();
+        let s = d.to_string();
+        assert!(s.contains("states"));
+        assert!(s.contains("->"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Graphviz rendering of DFAs — the Fig. 2 state diagrams, regenerable.
+
+use crate::dfa::Dfa;
+use rfjson_rtl::components::ByteSet;
+use std::fmt::Write;
+
+/// Renders `dfa` in Graphviz dot syntax. Accepting states are drawn as
+/// double circles, the start state has an entry arrow, and edges are
+/// labelled with compact byte-class descriptions (`0-2`, `5-9`, `other`).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_redfa::{Dfa, Regex};
+/// use rfjson_redfa::dot::to_dot;
+///
+/// let dfa = Dfa::from_regex(&"ab".parse::<Regex>()?).minimized();
+/// let dot = to_dot(&dfa, "ab");
+/// assert!(dot.starts_with("digraph ab"));
+/// assert!(dot.contains("doublecircle"));
+/// # Ok::<(), rfjson_redfa::regex::ParseRegexError>(())
+/// ```
+pub fn to_dot(dfa: &Dfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  _start [shape=point];");
+    let _ = writeln!(out, "  _start -> s{};", dfa.start());
+    for s in 0..dfa.num_states() as u16 {
+        if dfa.is_accept(s) {
+            let _ = writeln!(out, "  s{s} [shape=doublecircle];");
+        }
+    }
+    for s in 0..dfa.num_states() as u16 {
+        // Group classes by target for compact edges.
+        let mut by_target: Vec<(u16, Vec<u8>)> = Vec::new();
+        for c in 0..dfa.num_classes() as u8 {
+            let t = dfa.step_class(s, c);
+            match by_target.iter_mut().find(|(bt, _)| *bt == t) {
+                Some((_, cs)) => cs.push(c),
+                None => by_target.push((t, vec![c])),
+            }
+        }
+        for (t, classes) in by_target {
+            let mut set = ByteSet::new();
+            for c in classes {
+                set = set.union(&dfa.class_set(c));
+            }
+            let _ = writeln!(out, "  s{s} -> s{t} [label=\"{}\"];", class_label(&set));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Compact human label for a byte set.
+fn class_label(set: &ByteSet) -> String {
+    if set.len() == 256 {
+        return "any".to_string();
+    }
+    if set.len() > 128 {
+        return "other".to_string();
+    }
+    let mut parts = Vec::new();
+    for (lo, hi) in set.ranges() {
+        let show = |b: u8| -> String {
+            if b.is_ascii_graphic() {
+                (b as char).to_string()
+            } else {
+                format!("x{b:02x}")
+            }
+        };
+        if lo == hi {
+            parts.push(show(lo));
+        } else {
+            parts.push(format!("{}-{}", show(lo), show(hi)));
+        }
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::NumberBounds;
+    use crate::regex::Regex;
+
+    #[test]
+    fn dot_structure() {
+        let dfa = Dfa::from_regex(&"a(b|c)".parse::<Regex>().unwrap()).minimized();
+        let dot = to_dot(&dfa, "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("_start -> s0"));
+        assert!(dot.contains("doublecircle"));
+        // Every state appears as an edge source.
+        for s in 0..dfa.num_states() {
+            assert!(dot.contains(&format!("s{s} ->")), "state {s} has edges");
+        }
+    }
+
+    #[test]
+    fn labels_group_classes() {
+        // The i >= 35 automaton of Fig. 2: digits grouped, "other" for the
+        // junk class.
+        let dfa = NumberBounds::int_range(35, 99_999_999).to_dfa_exact();
+        let dot = to_dot(&dfa, "ge35");
+        assert!(dot.contains("label=\"other\"") || dot.contains("label=\"any\""));
+        assert!(dot.contains("0-"), "digit range labels present");
+    }
+
+    #[test]
+    fn label_rendering() {
+        assert_eq!(class_label(&ByteSet::from_range(b'0', b'9')), "0-9");
+        assert_eq!(class_label(&ByteSet::from_byte(b'e')), "e");
+        assert_eq!(class_label(&ByteSet::full()), "any");
+        assert_eq!(
+            class_label(&ByteSet::from_bytes(b"ab").complement()),
+            "other"
+        );
+    }
+}

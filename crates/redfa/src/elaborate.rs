@@ -1,0 +1,286 @@
+//! DFA → RTL elaboration.
+//!
+//! Turns a [`Dfa`] into the synchronous circuit the paper synthesises:
+//! a binary-encoded state register, shared byte-class comparators, one
+//! product term per (state, class) transition pair, and a combinational
+//! `accept` output. The byte-class sharing is what keeps number-filter
+//! DFAs in the tens of LUTs.
+
+use crate::dfa::Dfa;
+use rfjson_rtl::components::{bits_for, byte_in_set, eq_const, or_reduce};
+use rfjson_rtl::netlist::{Netlist, NodeId};
+
+/// Handles to the signals of an elaborated DFA.
+#[derive(Debug, Clone)]
+pub struct DfaPorts {
+    /// High when the *current* state (before the coming clock edge) is
+    /// accepting.
+    pub accept: NodeId,
+    /// High when the state the automaton is stepping into this cycle
+    /// (after the `advance` mux, before `reset`) is accepting — i.e. the
+    /// verdict *including* the byte currently on the wire.
+    pub accept_next: NodeId,
+    /// Binary-encoded state register bits (LSB first).
+    pub state: Vec<NodeId>,
+}
+
+/// Elaborates `dfa` into `n`.
+///
+/// * `byte` — 8-bit input word (one byte per cycle);
+/// * `advance` — when high, the automaton steps on this byte; when low it
+///   holds its state (the number filter gates stepping on token bytes);
+/// * `reset` — synchronous return to the start state, dominating `advance`.
+///
+/// Returns the port bundle. All generated node names are unprefixed; use
+/// separate netlists per block or rely on node ids.
+pub fn elaborate_dfa(
+    n: &mut Netlist,
+    dfa: &Dfa,
+    byte: &[NodeId],
+    advance: NodeId,
+    reset: NodeId,
+) -> DfaPorts {
+    assert_eq!(byte.len(), 8, "byte port must be 8 bits");
+    let num_states = dfa.num_states();
+    let width = bits_for(num_states.saturating_sub(1) as u64);
+
+    // State encoding: the most-targeted state (usually the dead state of a
+    // number filter) gets code 0, so the bulk of the transition products
+    // vanish — next-state bits only need terms for transitions into states
+    // with non-zero codes. The start state's code becomes the register
+    // init value and the synchronous-reset constant.
+    let mut indegree = vec![0usize; num_states];
+    for s in 0..num_states as u16 {
+        for c in 0..dfa.num_classes() as u8 {
+            indegree[dfa.step_class(s, c) as usize] += 1;
+        }
+    }
+    let mut by_indegree: Vec<u16> = (0..num_states as u16).collect();
+    by_indegree.sort_by_key(|&s| std::cmp::Reverse(indegree[s as usize]));
+    let mut code_of = vec![0u64; num_states];
+    for (code, &s) in by_indegree.iter().enumerate() {
+        code_of[s as usize] = code as u64;
+    }
+    let encode = |s: u16| code_of[s as usize];
+    let start_code = encode(dfa.start());
+    let state: Vec<NodeId> = (0..width)
+        .map(|bit| n.dff_placeholder((start_code >> bit) & 1 == 1))
+        .collect();
+
+    // Shared class-match signals; the widest class (the "everything else"
+    // byte class) is derived as the complement of the rest — the classes
+    // partition the alphabet.
+    let num_classes = dfa.num_classes();
+    let widest = (0..num_classes as u8)
+        .max_by_key(|&c| dfa.class_set(c).ranges().len())
+        .expect("at least one class");
+    let mut class_match: Vec<Option<NodeId>> = vec![None; num_classes];
+    for c in 0..num_classes as u8 {
+        if c != widest {
+            let set = dfa.class_set(c);
+            class_match[c as usize] = Some(byte_in_set(n, byte, &set));
+        }
+    }
+    let others: Vec<NodeId> = class_match.iter().flatten().copied().collect();
+    let any_other = or_reduce(n, &others);
+    class_match[widest as usize] = Some(n.not(any_other));
+    let class_match: Vec<NodeId> = class_match
+        .into_iter()
+        .map(|c| c.expect("all classes built"))
+        .collect();
+
+    // State decode.
+    let state_is: Vec<NodeId> = (0..num_states as u16)
+        .map(|s| eq_const(n, &state, encode(s)))
+        .collect();
+
+    // Next-state logic: for each source state, group classes by target and
+    // emit one product per (state, live target).
+    let mut next = vec![Vec::new(); width];
+    for s in 0..num_states as u16 {
+        let mut by_target: std::collections::HashMap<u64, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for c in 0..dfa.num_classes() as u8 {
+            let t = encode(dfa.step_class(s, c));
+            if t == 0 {
+                continue; // all-zero target needs no products
+            }
+            by_target.entry(t).or_default().push(class_match[c as usize]);
+        }
+        let mut targets: Vec<(u64, Vec<NodeId>)> = by_target.into_iter().collect();
+        targets.sort_by_key(|(t, _)| *t);
+        for (t, classes) in targets {
+            let class_any = or_reduce(n, &classes);
+            let product = n.and_gate(state_is[s as usize], class_any);
+            for (bit, terms) in next.iter_mut().enumerate() {
+                if (t >> bit) & 1 == 1 {
+                    terms.push(product);
+                }
+            }
+        }
+    }
+    let mut held_word = Vec::with_capacity(width);
+    for (bit, terms) in next.into_iter().enumerate() {
+        let stepped = or_reduce(n, &terms);
+        let held = n.mux(advance, stepped, state[bit]);
+        held_word.push(held);
+        let start_bit = n.constant((start_code >> bit) & 1 == 1);
+        let next_bit = n.mux(reset, start_bit, held);
+        n.connect_dff(state[bit], next_bit);
+    }
+
+    // Accept = current state is any accepting state.
+    let acc_terms: Vec<NodeId> = (0..num_states as u16)
+        .filter(|&s| dfa.is_accept(s))
+        .map(|s| state_is[s as usize])
+        .collect();
+    let accept = or_reduce(n, &acc_terms);
+
+    // Accept-next = the post-step state is accepting (combinational).
+    let acc_next_terms: Vec<NodeId> = (0..num_states as u16)
+        .filter(|&s| dfa.is_accept(s))
+        .map(|s| eq_const(n, &held_word, encode(s)))
+        .collect();
+    let accept_next = or_reduce(n, &acc_next_terms);
+
+    DfaPorts {
+        accept,
+        accept_next,
+        state,
+    }
+}
+
+/// Wraps [`elaborate_dfa`] in a standalone netlist with ports
+/// `byte[0..8]`, `advance`, `reset` → output `accept`.
+pub fn dfa_to_netlist(dfa: &Dfa, name: &str) -> Netlist {
+    let mut n = Netlist::new(name);
+    let byte = n.input_word("byte", 8);
+    let advance = n.input("advance");
+    let reset = n.input("reset");
+    let ports = elaborate_dfa(&mut n, dfa, &byte, advance, reset);
+    n.output("accept", ports.accept);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::NumberBounds;
+    use crate::regex::Regex;
+    use rfjson_rtl::{BitVec, Simulator};
+
+    /// Streams `input` through an elaborated DFA one byte per cycle and
+    /// returns whether the final state is accepting.
+    fn hw_accepts(dfa: &Dfa, input: &[u8]) -> bool {
+        let n = dfa_to_netlist(dfa, "dut");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("advance", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        for &b in input {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.clock();
+        }
+        sim.output("accept").unwrap()
+    }
+
+    #[test]
+    fn hardware_matches_software_simple() {
+        let dfa = Dfa::from_regex(&"ab*c".parse::<Regex>().unwrap()).minimized();
+        for input in [&b"ac"[..], b"abbc", b"abc", b"a", b"", b"xyz", b"abcx"] {
+            assert_eq!(hw_accepts(&dfa, input), dfa.accepts(input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn hardware_matches_software_range() {
+        let dfa = NumberBounds::int_range(12, 49).to_dfa_exact();
+        for v in 0..100u32 {
+            let s = v.to_string();
+            assert_eq!(
+                hw_accepts(&dfa, s.as_bytes()),
+                dfa.accepts(s.as_bytes()),
+                "value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_gates_stepping() {
+        let dfa = Dfa::from_regex(&"ab".parse::<Regex>().unwrap()).minimized();
+        let n = dfa_to_netlist(&dfa, "dut");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("reset", false).unwrap();
+        // Feed 'a' with advance, then junk without advance, then 'b'.
+        sim.set_input("advance", true).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8)).unwrap();
+        sim.clock();
+        sim.set_input("advance", false).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'z'), 8)).unwrap();
+        sim.clock();
+        sim.clock();
+        sim.set_input("advance", true).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8)).unwrap();
+        sim.clock();
+        assert!(sim.output("accept").unwrap(), "junk was ignored while advance=0");
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let dfa = Dfa::from_regex(&"ab".parse::<Regex>().unwrap()).minimized();
+        let n = dfa_to_netlist(&dfa, "dut");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("advance", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        for &b in b"ab" {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.clock();
+        }
+        assert!(sim.output("accept").unwrap());
+        sim.set_input("reset", true).unwrap();
+        sim.clock();
+        sim.set_input("reset", false).unwrap();
+        assert!(!sim.output("accept").unwrap());
+        // And the automaton works again after reset.
+        for &b in b"ab" {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.clock();
+        }
+        assert!(sim.output("accept").unwrap());
+    }
+
+    #[test]
+    fn accept_next_sees_current_byte() {
+        // accept_next must fire in the same cycle the final byte arrives,
+        // one cycle before the registered accept.
+        let dfa = Dfa::from_regex(&"ab".parse::<Regex>().unwrap()).minimized();
+        let mut n = Netlist::new("dut");
+        let byte = n.input_word("byte", 8);
+        let advance = n.input("advance");
+        let reset = n.input("reset");
+        let ports = elaborate_dfa(&mut n, &dfa, &byte, advance, reset);
+        n.output("accept", ports.accept);
+        n.output("accept_next", ports.accept_next);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("advance", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8)).unwrap();
+        sim.clock();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8)).unwrap();
+        sim.settle();
+        assert!(!sim.output("accept").unwrap(), "registered accept lags");
+        assert!(sim.output("accept_next").unwrap(), "combinational verdict now");
+        sim.clock();
+        assert!(sim.output("accept").unwrap());
+    }
+
+    #[test]
+    fn state_register_width_is_logarithmic() {
+        // 12-or-so state DFA needs ceil(log2(states)) flip-flops — the
+        // paper's argument for why DFA matchers stay small in registers.
+        let dfa = Dfa::from_regex(&Regex::literal(b"temperature")).minimized();
+        let n = dfa_to_netlist(&dfa, "dut");
+        let width = rfjson_rtl::components::bits_for(dfa.num_states() as u64 - 1);
+        assert_eq!(n.num_dffs(), width);
+        assert!(width <= 4, "12 states fit 4 bits");
+    }
+}

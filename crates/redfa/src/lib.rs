@@ -1,0 +1,58 @@
+//! # rfjson-redfa — regular expressions, DFAs and numeric range automata
+//!
+//! The paper's number-range raw filter (§III-B, Fig. 2) works in two steps:
+//!
+//! 1. derive a **regular expression** from a value comparison such as
+//!    `i ≥ 35` — digit-by-digit case analysis plus a "more digits" clause;
+//! 2. convert the regex into a **minimised DFA** that is synthesised onto
+//!    the FPGA and evaluated at every number-token boundary.
+//!
+//! This crate implements that entire pipeline from scratch:
+//!
+//! * [`regex`] — a byte-class regex AST with a parser and pretty-printer;
+//! * [`nfa`] — Thompson construction;
+//! * [`dfa`] — subset construction with byte-class compression, plus the
+//!   product constructions (intersection/union) used to combine a lower and
+//!   an upper bound into the paper's single range automaton;
+//! * [`minimize`] — Hopcroft minimisation;
+//! * [`range`] — [`range::Decimal`] bounds and the Fig. 2 derivation for
+//!   integers *and* decimals, including the approximate exponent rule
+//!   (any token containing a digit followed by `e`/`E` is accepted, so no
+//!   false negatives are possible);
+//! * [`elaborate`] — DFA → `rfjson-rtl` netlist (binary state encoding,
+//!   shared byte-class comparators), the hardware form whose LUT cost the
+//!   evaluation tables report.
+//!
+//! # Example
+//!
+//! The running example of the paper, `i ≥ 35`:
+//!
+//! ```
+//! use rfjson_redfa::range::{Decimal, ge_regex};
+//! use rfjson_redfa::dfa::Dfa;
+//!
+//! let bound: Decimal = "35".parse()?;
+//! let regex = ge_regex(&bound);
+//! let dfa = Dfa::from_regex(&regex).minimized();
+//! assert!(dfa.accepts(b"35"));
+//! assert!(dfa.accepts(b"36"));
+//! assert!(dfa.accepts(b"350"));
+//! assert!(!dfa.accepts(b"34"));
+//! assert!(!dfa.accepts(b"9"));
+//! # Ok::<(), rfjson_redfa::range::ParseDecimalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod dot;
+pub mod elaborate;
+pub mod minimize;
+pub mod nfa;
+pub mod range;
+pub mod regex;
+
+pub use dfa::Dfa;
+pub use range::{Decimal, NumberBounds};
+pub use regex::Regex;

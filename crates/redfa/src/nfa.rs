@@ -1,0 +1,240 @@
+//! Thompson construction: regex → ε-NFA.
+
+use crate::regex::Regex;
+use rfjson_rtl::components::ByteSet;
+
+/// State index within an [`Nfa`].
+pub type StateId = usize;
+
+/// A non-deterministic finite automaton with ε-transitions, built by
+/// Thompson construction. One start state, one accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `eps[s]` lists ε-successors of `s`.
+    pub eps: Vec<Vec<StateId>>,
+    /// `moves[s]` lists `(class, target)` byte transitions of `s`.
+    pub moves: Vec<Vec<(ByteSet, StateId)>>,
+    /// Entry state.
+    pub start: StateId,
+    /// Single accepting state.
+    pub accept: StateId,
+}
+
+impl Nfa {
+    /// Builds an NFA for `regex` via Thompson construction.
+    pub fn from_regex(regex: &Regex) -> Nfa {
+        let mut b = Builder::default();
+        let (start, accept) = b.build(regex);
+        Nfa {
+            eps: b.eps,
+            moves: b.moves,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.eps.len()
+    }
+
+    /// ε-closure of a set of states (sorted, deduplicated).
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = states.to_vec();
+        for &s in states {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.num_states()).filter(|&s| seen[s]).collect()
+    }
+
+    /// Reference matcher (used to validate the DFA pipeline in tests):
+    /// simulates the NFA directly.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut current = self.eps_closure(&[self.start]);
+        for &b in input {
+            let mut next = Vec::new();
+            for &s in &current {
+                for (class, t) in &self.moves[s] {
+                    if class.contains(b) {
+                        next.push(*t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            current = self.eps_closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.contains(&self.accept)
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    eps: Vec<Vec<StateId>>,
+    moves: Vec<Vec<(ByteSet, StateId)>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> StateId {
+        self.eps.push(Vec::new());
+        self.moves.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    fn eps_edge(&mut self, from: StateId, to: StateId) {
+        self.eps[from].push(to);
+    }
+
+    fn build(&mut self, regex: &Regex) -> (StateId, StateId) {
+        match regex {
+            Regex::Empty => {
+                let s = self.state();
+                let a = self.state();
+                (s, a) // no edge: accepts nothing
+            }
+            Regex::Eps => {
+                let s = self.state();
+                let a = self.state();
+                self.eps_edge(s, a);
+                (s, a)
+            }
+            Regex::Class(set) => {
+                let s = self.state();
+                let a = self.state();
+                self.moves[s].push((*set, a));
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                let mut first = None;
+                let mut last: Option<StateId> = None;
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    if let Some(prev) = last {
+                        self.eps_edge(prev, ps);
+                    } else {
+                        first = Some(ps);
+                    }
+                    last = Some(pa);
+                }
+                match (first, last) {
+                    (Some(f), Some(l)) => (f, l),
+                    _ => {
+                        let s = self.state();
+                        let a = self.state();
+                        self.eps_edge(s, a);
+                        (s, a)
+                    }
+                }
+            }
+            Regex::Alt(parts) => {
+                let s = self.state();
+                let a = self.state();
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.eps_edge(s, ps);
+                    self.eps_edge(pa, a);
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.state();
+                let a = self.state();
+                let (is, ia) = self.build(inner);
+                self.eps_edge(s, is);
+                self.eps_edge(s, a);
+                self.eps_edge(ia, is);
+                self.eps_edge(ia, a);
+                (s, a)
+            }
+            Regex::Plus(inner) => {
+                let (is, ia) = self.build(inner);
+                let a = self.state();
+                self.eps_edge(ia, is);
+                self.eps_edge(ia, a);
+                (is, a)
+            }
+            Regex::Opt(inner) => {
+                let s = self.state();
+                let a = self.state();
+                let (is, ia) = self.build(inner);
+                self.eps_edge(s, is);
+                self.eps_edge(s, a);
+                self.eps_edge(ia, a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nfa(pattern: &str) -> Nfa {
+        Nfa::from_regex(&pattern.parse().expect("pattern parses"))
+    }
+
+    #[test]
+    fn literal() {
+        let n = nfa("ab");
+        assert!(n.accepts(b"ab"));
+        assert!(!n.accepts(b"a"));
+        assert!(!n.accepts(b"abc"));
+        assert!(!n.accepts(b""));
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        let n = nfa("(ab|c)*");
+        assert!(n.accepts(b""));
+        assert!(n.accepts(b"ab"));
+        assert!(n.accepts(b"cab"));
+        assert!(n.accepts(b"ababcc"));
+        assert!(!n.accepts(b"b"));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let n = nfa("a+b?");
+        assert!(n.accepts(b"a"));
+        assert!(n.accepts(b"aaab"));
+        assert!(!n.accepts(b"b"));
+        assert!(!n.accepts(b""));
+    }
+
+    #[test]
+    fn empty_language() {
+        let n = Nfa::from_regex(&Regex::Empty);
+        assert!(!n.accepts(b""));
+        assert!(!n.accepts(b"a"));
+    }
+
+    #[test]
+    fn eps_closure_transitive() {
+        // (a?)? builds a chain of ε edges; closure from start must reach
+        // the accept state.
+        let n = nfa("a?");
+        let closure = n.eps_closure(&[n.start]);
+        assert!(closure.contains(&n.accept));
+    }
+
+    #[test]
+    fn classes_in_nfa() {
+        let n = nfa("[0-9]+x");
+        assert!(n.accepts(b"42x"));
+        assert!(!n.accepts(b"x"));
+        assert!(!n.accepts(b"42"));
+    }
+}

@@ -1,0 +1,607 @@
+//! Regular expression AST, parser and pretty-printer.
+//!
+//! Expressions operate on **bytes**; character classes are
+//! [`ByteSet`]s. The AST is the input to Thompson construction
+//! ([`crate::nfa`]) and the output of the paper's range derivation
+//! ([`crate::range`]).
+
+use rfjson_rtl::components::ByteSet;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A regular expression over bytes.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_redfa::Regex;
+///
+/// let re: Regex = "[1-9][0-9]*".parse()?;
+/// let dfa = rfjson_redfa::Dfa::from_regex(&re);
+/// assert!(dfa.accepts(b"35"));
+/// assert!(!dfa.accepts(b"035"));
+/// # Ok::<(), rfjson_redfa::regex::ParseRegexError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches nothing (the empty language).
+    Empty,
+    /// Matches the empty string.
+    Eps,
+    /// Matches one byte from the set.
+    Class(ByteSet),
+    /// Concatenation, in order.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Literal byte string.
+    pub fn literal(s: &[u8]) -> Regex {
+        let parts: Vec<Regex> = s.iter().map(|&b| Regex::Class(ByteSet::from_byte(b))).collect();
+        match parts.len() {
+            0 => Regex::Eps,
+            1 => parts.into_iter().next().expect("len checked"),
+            _ => Regex::Concat(parts),
+        }
+    }
+
+    /// Single byte.
+    pub fn byte(b: u8) -> Regex {
+        Regex::Class(ByteSet::from_byte(b))
+    }
+
+    /// Byte range class `lo..=hi`.
+    pub fn range(lo: u8, hi: u8) -> Regex {
+        Regex::Class(ByteSet::from_range(lo, hi))
+    }
+
+    /// The digit class `[0-9]`.
+    pub fn digit() -> Regex {
+        Regex::range(b'0', b'9')
+    }
+
+    /// Concatenation smart constructor (flattens, drops `Eps`, absorbs
+    /// `Empty`).
+    pub fn concat(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Eps => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Eps,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Alternation smart constructor (flattens, drops `Empty`).
+    pub fn alt(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Kleene star smart constructor.
+    pub fn star(self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            Regex::Star(inner) => Regex::Star(inner),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// One-or-more smart constructor.
+    pub fn plus(self) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Eps => Regex::Eps,
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Zero-or-one smart constructor.
+    pub fn opt(self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// `self{n}` — exactly `n` copies.
+    pub fn repeat(self, n: usize) -> Regex {
+        Regex::concat(std::iter::repeat_n(self, n))
+    }
+
+    /// `self{n,}` — `n` or more copies.
+    pub fn at_least(self, n: usize) -> Regex {
+        let star = self.clone().star();
+        Regex::concat(std::iter::repeat_n(self, n).chain(std::iter::once(star)))
+    }
+
+    /// Does the language contain the empty string? (Needed by tests and by
+    /// the number-filter semantics: an empty token never matches.)
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Eps | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Alt(ps) => ps.iter().any(Regex::nullable),
+            Regex::Plus(p) => p.nullable(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_regex(self, f, 0)
+    }
+}
+
+/// Precedence levels: 0 = alt, 1 = concat, 2 = postfix.
+fn fmt_regex(re: &Regex, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match re {
+        Regex::Empty => write!(f, "∅"),
+        Regex::Eps => write!(f, "ε"),
+        Regex::Class(set) => fmt_class(set, f),
+        Regex::Concat(ps) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            for p in ps {
+                fmt_regex(p, f, 2)?;
+            }
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Regex::Alt(ps) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "|")?;
+                }
+                fmt_regex(p, f, 1)?;
+            }
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Regex::Star(p) => {
+            fmt_regex(p, f, 2)?;
+            write!(f, "*")
+        }
+        Regex::Plus(p) => {
+            fmt_regex(p, f, 2)?;
+            write!(f, "+")
+        }
+        Regex::Opt(p) => {
+            fmt_regex(p, f, 2)?;
+            write!(f, "?")
+        }
+    }
+}
+
+fn fmt_class(set: &ByteSet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fn show(b: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if b.is_ascii_graphic() && !br"[]-\^".contains(&b) {
+            write!(f, "{}", b as char)
+        } else {
+            write!(f, "\\x{b:02x}")
+        }
+    }
+    if set.len() == 256 {
+        return write!(f, ".");
+    }
+    let ranges = set.ranges();
+    if ranges.len() == 1 && ranges[0].0 == ranges[0].1 {
+        let b = ranges[0].0;
+        if b.is_ascii_graphic() && !br"()[]{}|*+?.\^$-".contains(&b) {
+            return write!(f, "{}", b as char);
+        }
+        if b == b' ' {
+            return write!(f, " ");
+        }
+        return write!(f, "\\x{b:02x}");
+    }
+    write!(f, "[")?;
+    for (lo, hi) in ranges {
+        show(lo, f)?;
+        if hi > lo {
+            if hi > lo + 1 {
+                write!(f, "-")?;
+            }
+            show(hi, f)?;
+        }
+    }
+    write!(f, "]")
+}
+
+/// Error produced when parsing a textual regex fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset of the error in the pattern.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseRegexError {}
+
+impl FromStr for Regex {
+    type Err = ParseRegexError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Parser::new(s.as_bytes()).parse()
+    }
+}
+
+/// Recursive-descent parser for a conventional regex subset:
+/// literals, `\` escapes, `.`, `[a-z]` / `[^a-z]` classes, `(…)`, `|`,
+/// `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`.
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a [u8]) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseRegexError {
+        ParseRegexError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn parse(mut self) -> Result<Regex, ParseRegexError> {
+        let re = self.parse_alt()?;
+        if self.pos != self.src.len() {
+            return Err(self.err("unexpected `)`"));
+        }
+        Ok(re)
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.parse_concat()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.parse_postfix()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = atom.star();
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = atom.plus();
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = atom.opt();
+                }
+                Some(b'{') => {
+                    self.bump();
+                    atom = self.parse_repeat(atom)?;
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn parse_repeat(&mut self, atom: Regex) -> Result<Regex, ParseRegexError> {
+        let m = self.parse_number()?;
+        match self.bump() {
+            Some(b'}') => Ok(atom.repeat(m)),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(atom.at_least(m));
+                }
+                let n = self.parse_number()?;
+                if self.bump() != Some(b'}') {
+                    return Err(self.err("expected `}`"));
+                }
+                if n < m {
+                    return Err(self.err(format!("bad repetition {{{m},{n}}}")));
+                }
+                // r{m,n} = r^m (r?)^(n-m)
+                let opts = Regex::concat(std::iter::repeat_n(atom.clone().opt(), n - m));
+                Ok(Regex::concat([atom.repeat(m), opts]))
+            }
+            _ => Err(self.err("expected `}` or `,`")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseRegexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.err("repetition count too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unclosed `(`"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.parse_class(),
+            Some(b'.') => Ok(Regex::Class(ByteSet::full())),
+            Some(b'\\') => {
+                let b = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(Regex::byte(unescape(b)))
+            }
+            Some(b) if b"*+?{}|)".contains(&b) => {
+                Err(self.err(format!("unexpected `{}`", b as char)))
+            }
+            Some(b) => Ok(Regex::byte(b)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Regex, ParseRegexError> {
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = ByteSet::new();
+        loop {
+            let b = match self.bump() {
+                None => return Err(self.err("unclosed `[`")),
+                Some(b']') => break,
+                Some(b'\\') => {
+                    let e = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                    unescape(e)
+                }
+                Some(b) => b,
+            };
+            // Range `b-hi` unless `-` is last before `]`.
+            if self.peek() == Some(b'-') && self.src.get(self.pos + 1) != Some(&b']') {
+                self.bump();
+                let hi = match self.bump() {
+                    None => return Err(self.err("unclosed `[`")),
+                    Some(b'\\') => {
+                        let e = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                        unescape(e)
+                    }
+                    Some(h) => h,
+                };
+                if hi < b {
+                    return Err(self.err("inverted class range"));
+                }
+                for v in b..=hi {
+                    set.insert(v);
+                }
+            } else {
+                set.insert(b);
+            }
+        }
+        if negate {
+            set = set.complement();
+        }
+        if set.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Regex::Class(set))
+    }
+}
+
+fn unescape(b: u8) -> u8 {
+    match b {
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b't' => b'\t',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+
+    fn accepts(pattern: &str, input: &[u8]) -> bool {
+        let re: Regex = pattern.parse().expect("pattern parses");
+        Dfa::from_regex(&re).accepts(input)
+    }
+
+    #[test]
+    fn literal_and_alternation() {
+        assert!(accepts("abc", b"abc"));
+        assert!(!accepts("abc", b"ab"));
+        assert!(!accepts("abc", b"abcd"));
+        assert!(accepts("cat|dog", b"dog"));
+        assert!(!accepts("cat|dog", b"cow"));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert!(accepts("ab*c", b"ac"));
+        assert!(accepts("ab*c", b"abbbc"));
+        assert!(accepts("ab+c", b"abc"));
+        assert!(!accepts("ab+c", b"ac"));
+        assert!(accepts("ab?c", b"ac"));
+        assert!(accepts("ab?c", b"abc"));
+        assert!(!accepts("ab?c", b"abbc"));
+    }
+
+    #[test]
+    fn repetitions() {
+        assert!(accepts("a{3}", b"aaa"));
+        assert!(!accepts("a{3}", b"aa"));
+        assert!(accepts("a{2,}", b"aaaa"));
+        assert!(!accepts("a{2,}", b"a"));
+        assert!(accepts("a{1,3}", b"aa"));
+        assert!(!accepts("a{1,3}", b"aaaa"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(accepts("[0-9]+", b"12345"));
+        assert!(!accepts("[0-9]+", b"12a45"));
+        assert!(accepts("[^0-9]", b"x"));
+        assert!(!accepts("[^0-9]", b"7"));
+        assert!(accepts("[a-cx]", b"x"));
+        assert!(accepts("[-a]", b"-"), "literal dash at class end");
+        assert!(accepts(r"[\]]", b"]"));
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        assert!(accepts("a.c", b"axc"));
+        assert!(accepts(r"a\.c", b"a.c"));
+        assert!(!accepts(r"a\.c", b"axc"));
+        assert!(accepts(r"\n", b"\n"));
+    }
+
+    #[test]
+    fn the_paper_fig2_regex_textual() {
+        // (3[5-9] | [4-9][0-9] | [1-9][0-9]{2,}) — i ≥ 35, Fig. 2 step 1.3
+        let p = "(3[5-9])|([4-9][0-9])|([1-9][0-9]{2,})";
+        for (input, want) in [
+            (&b"35"[..], true),
+            (b"39", true),
+            (b"40", true),
+            (b"99", true),
+            (b"100", true),
+            (b"34", false),
+            (b"9", false),
+            (b"04", false),
+        ] {
+            assert_eq!(accepts(p, input), want, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!("(".parse::<Regex>().is_err());
+        assert!(")".parse::<Regex>().is_err());
+        assert!("[a".parse::<Regex>().is_err());
+        assert!("a{2".parse::<Regex>().is_err());
+        assert!("a{3,1}".parse::<Regex>().is_err());
+        assert!("*a".parse::<Regex>().is_err());
+        assert!("[z-a]".parse::<Regex>().is_err());
+        let e = "ab)".parse::<Regex>().unwrap_err();
+        assert!(e.to_string().contains("byte 2"));
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Regex::concat([Regex::Eps, Regex::byte(b'a')]), Regex::byte(b'a'));
+        assert_eq!(Regex::concat([Regex::Empty, Regex::byte(b'a')]), Regex::Empty);
+        assert_eq!(Regex::alt([Regex::Empty, Regex::byte(b'a')]), Regex::byte(b'a'));
+        assert_eq!(Regex::Eps.star(), Regex::Eps);
+        assert_eq!(Regex::Empty.plus(), Regex::Empty);
+        assert_eq!(Regex::literal(b""), Regex::Eps);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::Eps.nullable());
+        assert!(!Regex::byte(b'a').nullable());
+        assert!(Regex::byte(b'a').star().nullable());
+        assert!(!Regex::byte(b'a').plus().nullable());
+        assert!("a?b*".parse::<Regex>().unwrap().nullable());
+        assert!(!"a|bc".parse::<Regex>().unwrap().nullable());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for pattern in ["abc", "(ab|cd)*x", "[0-9]+", "a?b+c*", "x|y|z"] {
+            let re: Regex = pattern.parse().unwrap();
+            let printed = re.to_string();
+            let reparsed: Regex = printed.parse().unwrap_or_else(|e| {
+                panic!("printed form `{printed}` of `{pattern}` must reparse: {e}")
+            });
+            // Compare languages on a pile of short inputs.
+            let d1 = Dfa::from_regex(&re);
+            let d2 = Dfa::from_regex(&reparsed);
+            for input in ["", "a", "ab", "abc", "x", "yz", "cdab", "0123", "bbb"] {
+                assert_eq!(
+                    d1.accepts(input.as_bytes()),
+                    d2.accepts(input.as_bytes()),
+                    "pattern `{pattern}` printed `{printed}` input `{input}`"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the regex/DFA pipeline: NFA/DFA/minimised agreement
+//! on random regexes, automata algebra laws, range-automaton exactness
+//! and the elaborated hardware form.
+
+use proptest::prelude::*;
+use rfjson_redfa::nfa::Nfa;
+use rfjson_redfa::range::{ge_int_regex, le_int_regex, NumberBounds};
+use rfjson_redfa::regex::Regex;
+use rfjson_redfa::{Decimal, Dfa};
+
+/// Strategy producing small random regex ASTs over the alphabet {a,b,c}.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::byte(b'a')),
+        Just(Regex::byte(b'b')),
+        Just(Regex::byte(b'c')),
+        Just(Regex::range(b'a', b'b')),
+        Just(Regex::Eps),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::opt),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn nfa_dfa_minimized_agree(
+        re in regex_strategy(),
+        inputs in prop::collection::vec("[a-d]{0,8}", 1..12),
+    ) {
+        let nfa = Nfa::from_regex(&re);
+        let dfa = Dfa::from_regex(&re);
+        let min = dfa.minimized();
+        prop_assert!(min.num_states() <= dfa.num_states());
+        for input in &inputs {
+            let b = input.as_bytes();
+            let n = nfa.accepts(b);
+            prop_assert_eq!(dfa.accepts(b), n, "dfa vs nfa on {:?}", input);
+            prop_assert_eq!(min.accepts(b), n, "min vs nfa on {:?}", input);
+        }
+    }
+
+    #[test]
+    fn minimization_is_idempotent(re in regex_strategy()) {
+        let min = Dfa::from_regex(&re).minimized();
+        let min2 = min.minimized();
+        prop_assert_eq!(min.num_states(), min2.num_states());
+    }
+
+    #[test]
+    fn product_algebra_laws(
+        ra in regex_strategy(),
+        rb in regex_strategy(),
+        inputs in prop::collection::vec("[a-c]{0,6}", 1..10),
+    ) {
+        let a = Dfa::from_regex(&ra);
+        let b = Dfa::from_regex(&rb);
+        let inter = a.intersect(&b);
+        let union = a.union(&b);
+        let comp_a = a.complement();
+        for input in &inputs {
+            let bytes = input.as_bytes();
+            let (va, vb) = (a.accepts(bytes), b.accepts(bytes));
+            prop_assert_eq!(inter.accepts(bytes), va && vb);
+            prop_assert_eq!(union.accepts(bytes), va || vb);
+            prop_assert_eq!(comp_a.accepts(bytes), !va);
+        }
+    }
+
+    #[test]
+    fn fig2_bounds_regexes_are_exact(
+        bound in 0i64..100_000,
+        probe in 0i64..200_000,
+    ) {
+        let d = Decimal::from_int(bound);
+        let ge = Dfa::from_regex(&ge_int_regex(&d));
+        let le = Dfa::from_regex(&le_int_regex(&d));
+        let token = probe.to_string();
+        prop_assert_eq!(ge.accepts(token.as_bytes()), probe >= bound);
+        prop_assert_eq!(le.accepts(token.as_bytes()), probe <= bound);
+    }
+
+    #[test]
+    fn range_single_automaton_equals_bound_intersection(
+        lo in 0i64..5000,
+        span in 0i64..5000,
+        probe in 0i64..15_000,
+    ) {
+        let hi = lo + span;
+        let range = NumberBounds::int_range(lo, hi).to_dfa_exact();
+        let ge = Dfa::from_regex(&ge_int_regex(&Decimal::from_int(lo)));
+        let le = Dfa::from_regex(&le_int_regex(&Decimal::from_int(hi)));
+        let both = ge.intersect(&le).minimized();
+        let token = probe.to_string();
+        prop_assert_eq!(
+            range.accepts(token.as_bytes()),
+            both.accepts(token.as_bytes()),
+            "probe {} vs [{}, {}]", probe, lo, hi
+        );
+        // And the single automaton is no larger (the §III-B claim).
+        prop_assert!(range.num_states() <= ge.num_states() + le.num_states());
+    }
+
+    #[test]
+    fn widening_is_superset(
+        lo_h in -5000i64..5000,
+        span_h in 0i64..8000,
+        digits in 1usize..4,
+        probe_h in -10_000i64..10_000,
+    ) {
+        let fmt = |h: i64| {
+            let sign = if h < 0 { "-" } else { "" };
+            let a = h.abs();
+            if a % 100 == 0 { format!("{sign}{}", a / 100) }
+            else if a % 10 == 0 { format!("{sign}{}.{}", a / 100, (a / 10) % 10) }
+            else { format!("{sign}{}.{:02}", a / 100, a % 100) }
+        };
+        let bounds = NumberBounds::new(
+            fmt(lo_h).parse::<Decimal>().unwrap(),
+            fmt(lo_h + span_h).parse::<Decimal>().unwrap(),
+            rfjson_redfa::range::NumberKind::Float,
+        ).unwrap();
+        let widened = bounds.widened_to_digits(digits);
+        let exact = bounds.to_dfa_exact();
+        let wide = widened.to_dfa_exact();
+        let token = fmt(probe_h);
+        // Anything the exact range accepts, the widened range must too.
+        if exact.accepts(token.as_bytes()) {
+            prop_assert!(wide.accepts(token.as_bytes()), "{} lost from {}", token, widened);
+        }
+    }
+
+    #[test]
+    fn hardware_dfa_equals_software(
+        re in regex_strategy(),
+        input in "[a-c]{0,10}",
+    ) {
+        use rfjson_redfa::elaborate::dfa_to_netlist;
+        use rfjson_rtl::{BitVec, Simulator};
+        let dfa = Dfa::from_regex(&re).minimized();
+        // Cap hardware size for test speed.
+        prop_assume!(dfa.num_states() <= 24);
+        let n = dfa_to_netlist(&dfa, "dut");
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("advance", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        for &b in input.as_bytes() {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.clock();
+        }
+        prop_assert_eq!(sim.output("accept").unwrap(), dfa.accepts(input.as_bytes()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Dataset container: a named collection of raw JSON records.
+
+use rfjson_jsonstream::{parse, Value};
+use std::fmt;
+
+/// A workload: one raw JSON record per entry, as the bytes the raw filters
+/// scan. Parsing (for ground truth) is explicit and lazy — mirroring the
+/// paper's premise that parsing is the expensive step.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    name: String,
+    records: Vec<Vec<u8>>,
+}
+
+impl Dataset {
+    /// Creates a dataset from raw records.
+    pub fn new(name: impl Into<String>, records: Vec<Vec<u8>>) -> Self {
+        Dataset {
+            name: name.into(),
+            records,
+        }
+    }
+
+    /// Dataset name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw records.
+    pub fn records(&self) -> &[Vec<u8>] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the dataset empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes (records only, no framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.records.iter().map(Vec::len).sum()
+    }
+
+    /// The newline-delimited stream form fed to the filter hardware.
+    pub fn stream(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() + self.len());
+        for r in &self.records {
+            out.extend_from_slice(r);
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Parses every record (the ground-truth oracle path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated record is not valid JSON — generator bugs must
+    /// not silently skew FPR measurements.
+    pub fn parsed(&self) -> Vec<Value> {
+        self.records
+            .iter()
+            .map(|r| {
+                parse(r).unwrap_or_else(|e| {
+                    panic!(
+                        "dataset `{}` contains invalid JSON ({e}): {}",
+                        self.name,
+                        String::from_utf8_lossy(r)
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Repeats records until the stream reaches at least `bytes` bytes —
+    /// the "inflated JSON data" of the paper's §IV-B experiment.
+    #[must_use]
+    pub fn inflated_to(&self, bytes: usize) -> Dataset {
+        assert!(!self.is_empty(), "cannot inflate an empty dataset");
+        let mut records = Vec::new();
+        let mut total = 0usize;
+        let mut i = 0;
+        while total < bytes {
+            let r = &self.records[i % self.records.len()];
+            total += r.len() + 1;
+            records.push(r.clone());
+            i += 1;
+        }
+        Dataset::new(format!("{}-inflated", self.name), records)
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset `{}`: {} records, {} bytes",
+            self.name,
+            self.len(),
+            self.payload_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![br#"{"a":1}"#.to_vec(), br#"{"a":2}"#.to_vec()],
+        )
+    }
+
+    #[test]
+    fn stream_is_newline_delimited() {
+        let d = toy();
+        assert_eq!(d.stream(), b"{\"a\":1}\n{\"a\":2}\n".to_vec());
+        assert_eq!(d.payload_bytes(), 14);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn parsed_round_trip() {
+        let d = toy();
+        let vs = d.parsed();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[1].get("a").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid JSON")]
+    fn parsed_panics_on_garbage() {
+        let d = Dataset::new("bad", vec![b"{oops".to_vec()]);
+        let _ = d.parsed();
+    }
+
+    #[test]
+    fn inflate_reaches_target() {
+        let d = toy().inflated_to(1000);
+        assert!(d.stream().len() >= 1000);
+        assert!(d.name().contains("inflated"));
+    }
+}

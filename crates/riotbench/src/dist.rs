@@ -1,0 +1,137 @@
+//! Small sampling toolkit (normal / log-normal / choices) on top of any
+//! [`rand::Rng`] — `rand_distr` is intentionally not a dependency.
+
+use rand::Rng;
+
+/// One standard-normal sample via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (log of zero).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `sd` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative");
+    mean + sd * standard_normal(rng)
+}
+
+/// Log-normal sample parameterised by the **median** and the shape `sigma`
+/// (standard deviation of the underlying normal in log space).
+///
+/// # Panics
+///
+/// Panics if `median` is not positive or `sigma` is negative.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// Uniformly chosen element of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn choice<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "choice requires a non-empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Bernoulli draw.
+pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Formats a float with exactly `dp` decimal places (the fixed-point money
+/// and sensor formats of the datasets, e.g. `"6.00"`, `"35.2"`).
+pub fn fixed(v: f64, dp: usize) -> String {
+    format!("{v:.dp$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 500.0, 1.1)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!(
+            (median / 500.0).ln().abs() < 0.1,
+            "median {median} should be near 500"
+        );
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn chance_rate() {
+        let mut r = rng();
+        let hits = (0..10_000).filter(|_| chance(&mut r, 0.12)).count();
+        assert!((hits as f64 / 10_000.0 - 0.12).abs() < 0.02);
+    }
+
+    #[test]
+    fn choice_uniformity() {
+        let mut r = rng();
+        let items = [1, 2, 3, 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[*choice(&mut r, &items) as usize - 1] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_formatting() {
+        assert_eq!(fixed(6.0, 2), "6.00");
+        assert_eq!(fixed(35.25, 1), "35.2", "banker-ish rounding is fine");
+        assert_eq!(fixed(0.651, 2), "0.65");
+        assert_eq!(fixed(-3.5, 0), "-4");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| normal(&mut r, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| normal(&mut r, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

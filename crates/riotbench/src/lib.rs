@@ -1,0 +1,40 @@
+//! # rfjson-riotbench — synthetic RiotBench-style workloads
+//!
+//! The paper evaluates on three datasets it does not ship: the RiotBench
+//! **SmartCity** SenML stream and **Taxi** trip stream (Shukla et al.,
+//! arXiv:1701.08530) and a **Twitter** corpus (Go, Sentiment140). This
+//! crate generates seeded synthetic equivalents that preserve the
+//! *structural properties* every result in the paper depends on:
+//!
+//! * SmartCity records follow Listing 1 exactly — a SenML array of
+//!   `{v,u,n}` measurement objects (values stored as JSON **strings**) for
+//!   temperature / humidity / light / dust / airquality_raw plus a `bt`
+//!   timestamp. Value distributions are tuned so the QS0/QS1 selectivities
+//!   land near Table VIII (63.9 % / 5.4 %).
+//! * Taxi records are flat JSON trip objects whose fields are correlated
+//!   (`trip_time_in_secs` and `fare_amount` follow `trip_distance`, the
+//!   §IV-A observation) and **include the `total_amount` key** — the
+//!   anagram of `tolls_amount` that drives `s1("tolls_amount")` to
+//!   FPR 1.000 in Table II. Most trips have `tolls_amount` 0.00, making
+//!   the tolls range predicate the dominant selector of QT.
+//! * Twitter records carry the real API keys (`created_at`, `user`,
+//!   `location`, `lang`, `favourites_count`, `statuses_count`, …) over
+//!   English-like tweet text; `statuses_count` contains the byte run
+//!   `uses` that forces `s1("user")` to FPR 1.000 in Table III.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dist;
+pub mod queries;
+pub mod smartcity;
+pub mod stats;
+pub mod taxi;
+pub mod text;
+pub mod twitter;
+
+pub use dataset::Dataset;
+pub use queries::{AttrKind, Query, RangePredicate, RecordShape};

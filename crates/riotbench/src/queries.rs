@@ -1,0 +1,289 @@
+//! The evaluation queries of the paper (Table VIII) and their ground-truth
+//! semantics.
+//!
+//! A query is a conjunction of attribute range predicates. Ground truth is
+//! computed by **fully parsing** the record — exactly what the raw filter
+//! is trying to avoid doing on non-matching records, and exactly what the
+//! downstream CPU parser does with the survivors.
+
+use crate::dataset::Dataset;
+use rfjson_jsonstream::Value;
+use std::fmt;
+
+/// Whether an attribute carries integer or float values — selects the
+/// number-filter derivation (`i` vs `f` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Integer-valued attribute.
+    Int,
+    /// Float-valued attribute.
+    Float,
+}
+
+/// One `lo ≤ attribute ≤ hi` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePredicate {
+    /// Attribute name as it appears in the records.
+    pub attribute: String,
+    /// Lower bound, in the decimal spelling used by the paper
+    /// (e.g. `"83.36"`). Kept textual so the filter side can derive exact
+    /// digit automata from it.
+    pub lo: String,
+    /// Upper bound (same format).
+    pub hi: String,
+    /// Integer or float attribute.
+    pub kind: AttrKind,
+}
+
+impl RangePredicate {
+    /// Builds a predicate.
+    pub fn new(attribute: &str, lo: &str, hi: &str, kind: AttrKind) -> Self {
+        RangePredicate {
+            attribute: attribute.to_string(),
+            lo: lo.to_string(),
+            hi: hi.to_string(),
+            kind,
+        }
+    }
+
+    /// Lower bound as `f64` (ground-truth comparisons).
+    pub fn lo_f64(&self) -> f64 {
+        self.lo.parse().expect("predicate bounds are decimal literals")
+    }
+
+    /// Upper bound as `f64`.
+    pub fn hi_f64(&self) -> f64 {
+        self.hi.parse().expect("predicate bounds are decimal literals")
+    }
+
+    /// Is `v` within bounds?
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo_f64() <= v && v <= self.hi_f64()
+    }
+}
+
+impl fmt::Display for RangePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ≤ \"{}\" ≤ {})", self.lo, self.attribute, self.hi)
+    }
+}
+
+/// How attribute values are located inside a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordShape {
+    /// SenML: the record has an `e` array of `{v,u,n}` measurement objects;
+    /// the attribute name is the `n` value, the measurement the `v` value
+    /// (stored as a JSON string). Listing 1 of the paper.
+    SenML,
+    /// Flat object: attributes are top-level members.
+    Flat,
+}
+
+/// A conjunctive range query (Table VIII).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Short name, e.g. `QS0`.
+    pub name: String,
+    /// The conjunction of predicates.
+    pub predicates: Vec<RangePredicate>,
+    /// How to find attributes in records.
+    pub shape: RecordShape,
+    /// Selectivity reported in Table VIII (fraction, not percent).
+    pub paper_selectivity: f64,
+}
+
+impl Query {
+    /// Ground truth: does `record` satisfy **all** predicates?
+    ///
+    /// A missing attribute or non-numeric value fails its predicate
+    /// (conjunctive semantics; a record that lacks the sensor cannot be in
+    /// range).
+    pub fn matches(&self, record: &Value) -> bool {
+        self.predicates.iter().all(|p| {
+            self.attribute_value(record, &p.attribute)
+                .is_some_and(|v| p.contains(v))
+        })
+    }
+
+    /// Extracts the numeric value of `attribute` from a record, honouring
+    /// the record shape.
+    pub fn attribute_value(&self, record: &Value, attribute: &str) -> Option<f64> {
+        match self.shape {
+            RecordShape::Flat => record.get(attribute).and_then(Value::as_numeric),
+            RecordShape::SenML => {
+                let events = record.get("e")?.as_array()?;
+                events
+                    .iter()
+                    .find(|m| m.get("n").and_then(Value::as_str) == Some(attribute))
+                    .and_then(|m| m.get("v"))
+                    .and_then(Value::as_numeric)
+            }
+        }
+    }
+
+    /// Measured selectivity over a dataset: fraction of records matching.
+    pub fn selectivity(&self, dataset: &Dataset) -> f64 {
+        let parsed = dataset.parsed();
+        if parsed.is_empty() {
+            return 0.0;
+        }
+        let hits = parsed.iter().filter(|r| self.matches(r)).count();
+        hits as f64 / parsed.len() as f64
+    }
+
+    /// SmartCity query 0 of Table VIII (paper selectivity 63.9 %).
+    pub fn qs0() -> Query {
+        Query {
+            name: "QS0".into(),
+            predicates: vec![
+                RangePredicate::new("temperature", "0.7", "35.1", AttrKind::Float),
+                RangePredicate::new("humidity", "20.3", "69.1", AttrKind::Float),
+                RangePredicate::new("light", "0", "5153", AttrKind::Int),
+                RangePredicate::new("dust", "83.36", "3322.67", AttrKind::Float),
+                RangePredicate::new("airquality_raw", "12", "49", AttrKind::Int),
+            ],
+            shape: RecordShape::SenML,
+            paper_selectivity: 0.639,
+        }
+    }
+
+    /// SmartCity query 1 of Table VIII (paper selectivity 5.4 %).
+    pub fn qs1() -> Query {
+        Query {
+            name: "QS1".into(),
+            predicates: vec![
+                RangePredicate::new("temperature", "-12.5", "43.1", AttrKind::Float),
+                RangePredicate::new("humidity", "10.7", "95.2", AttrKind::Float),
+                RangePredicate::new("light", "1345", "26282", AttrKind::Int),
+                RangePredicate::new("dust", "186.61", "5188.21", AttrKind::Float),
+                RangePredicate::new("airquality_raw", "17", "363", AttrKind::Int),
+            ],
+            shape: RecordShape::SenML,
+            paper_selectivity: 0.054,
+        }
+    }
+
+    /// Taxi query of Table VIII (paper selectivity 5.7 %).
+    pub fn qt() -> Query {
+        Query {
+            name: "QT".into(),
+            predicates: vec![
+                RangePredicate::new("trip_time_in_secs", "140", "3155", AttrKind::Int),
+                RangePredicate::new("tip_amount", "0.65", "38.55", AttrKind::Float),
+                RangePredicate::new("fare_amount", "6.00", "201.00", AttrKind::Float),
+                RangePredicate::new("tolls_amount", "2.50", "18.00", AttrKind::Float),
+                RangePredicate::new("trip_distance", "1.37", "29.86", AttrKind::Float),
+            ],
+            shape: RecordShape::Flat,
+            paper_selectivity: 0.057,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    /// Table VIII notation: conjunction of range predicates.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfjson_jsonstream::parse;
+
+    fn listing1() -> Value {
+        parse(
+            br#"{"e":[
+            {"v":"35.2","u":"far","n":"temperature"},
+            {"v":"12","u":"per","n":"humidity"},
+            {"v":"713","u":"per","n":"light"},
+            {"v":"305.01","u":"per","n":"dust"},
+            {"v":"20","u":"per","n":"airquality_raw"}
+            ],"bt":1422748800000}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn listing1_fails_qs0_because_of_temperature() {
+        // The paper's own running example: 35.2 exceeds 35.1, so the record
+        // is NOT selected (it is the canonical false-positive example for
+        // naive raw filters).
+        let q = Query::qs0();
+        assert!(!q.matches(&listing1()));
+        // And indeed temperature is the culprit:
+        assert_eq!(q.attribute_value(&listing1(), "temperature"), Some(35.2));
+        let temp_pred = &q.predicates[0];
+        assert!(!temp_pred.contains(35.2));
+        // Humidity 12 is also out of QS0's range, per Listing 1.
+        assert!(!q.predicates[1].contains(12.0));
+    }
+
+    #[test]
+    fn senml_in_range_record_matches() {
+        let rec = parse(
+            br#"{"e":[
+            {"v":"25.0","u":"far","n":"temperature"},
+            {"v":"45.5","u":"per","n":"humidity"},
+            {"v":"713","u":"per","n":"light"},
+            {"v":"305.01","u":"per","n":"dust"},
+            {"v":"20","u":"per","n":"airquality_raw"}
+            ],"bt":1422748800000}"#,
+        )
+        .unwrap();
+        assert!(Query::qs0().matches(&rec));
+        assert!(!Query::qs1().matches(&rec), "light 713 < 1345");
+    }
+
+    #[test]
+    fn missing_attribute_fails() {
+        let rec = parse(br#"{"e":[{"v":"25.0","u":"far","n":"temperature"}],"bt":1}"#).unwrap();
+        assert!(!Query::qs0().matches(&rec));
+    }
+
+    #[test]
+    fn flat_taxi_matching() {
+        let rec = parse(
+            br#"{"trip_time_in_secs":600,"trip_distance":2.63,"fare_amount":11.50,
+                "tip_amount":2.30,"tolls_amount":5.33,"total_amount":19.13}"#,
+        )
+        .unwrap();
+        assert!(Query::qt().matches(&rec));
+        let rec2 = parse(
+            br#"{"trip_time_in_secs":600,"trip_distance":2.63,"fare_amount":11.50,
+                "tip_amount":2.30,"tolls_amount":0.00,"total_amount":13.80}"#,
+        )
+        .unwrap();
+        assert!(!Query::qt().matches(&rec2), "no tolls, out of range");
+    }
+
+    #[test]
+    fn queries_match_table8() {
+        assert_eq!(Query::qs0().predicates.len(), 5);
+        assert_eq!(Query::qs1().predicates.len(), 5);
+        assert_eq!(Query::qt().predicates.len(), 5);
+        assert!((Query::qs0().paper_selectivity - 0.639).abs() < 1e-9);
+        let d = Query::qt().to_string();
+        assert!(d.contains("tolls_amount") && d.contains("2.50"));
+    }
+
+    #[test]
+    fn selectivity_measurement() {
+        let ds = Dataset::new(
+            "t",
+            vec![
+                br#"{"trip_time_in_secs":600,"trip_distance":2.63,"fare_amount":11.50,"tip_amount":2.30,"tolls_amount":5.33}"#.to_vec(),
+                br#"{"trip_time_in_secs":600,"trip_distance":2.63,"fare_amount":11.50,"tip_amount":2.30,"tolls_amount":0.00}"#.to_vec(),
+            ],
+        );
+        assert!((Query::qt().selectivity(&ds) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Dataset statistics — used by the benchmark tables and by the generator
+//! calibration tests.
+
+use crate::dataset::Dataset;
+use crate::queries::Query;
+use std::fmt;
+
+/// Summary statistics of one attribute over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttrStats {
+    /// Number of records in which the attribute was present and numeric.
+    pub count: usize,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl fmt::Display for AttrStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.2} mean={:.2} max={:.2}",
+            self.count, self.min, self.mean, self.max
+        )
+    }
+}
+
+/// Computes statistics for `attribute` as located by `query`'s record
+/// shape. Returns `None` if the attribute never appears.
+pub fn attribute_stats(dataset: &Dataset, query: &Query, attribute: &str) -> Option<AttrStats> {
+    let mut count = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for record in dataset.parsed() {
+        if let Some(v) = query.attribute_value(&record, attribute) {
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+    }
+    (count > 0).then(|| AttrStats {
+        count,
+        min,
+        max,
+        mean: sum / count as f64,
+    })
+}
+
+/// Per-predicate pass rates: for each predicate of `query`, the fraction of
+/// records whose attribute value satisfies it. The product of these is the
+/// query selectivity when attributes are independent — comparing the two
+/// reveals attribute correlation (the §IV-A taxi observation).
+pub fn predicate_pass_rates(dataset: &Dataset, query: &Query) -> Vec<(String, f64)> {
+    let parsed = dataset.parsed();
+    query
+        .predicates
+        .iter()
+        .map(|p| {
+            let hits = parsed
+                .iter()
+                .filter(|r| {
+                    query
+                        .attribute_value(r, &p.attribute)
+                        .is_some_and(|v| p.contains(v))
+                })
+                .count();
+            (p.attribute.clone(), hits as f64 / parsed.len().max(1) as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{smartcity, taxi};
+
+    #[test]
+    fn stats_cover_all_records() {
+        let ds = smartcity::generate(1, 200);
+        let q = Query::qs0();
+        let s = attribute_stats(&ds, &q, "temperature").unwrap();
+        assert_eq!(s.count, 200);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(attribute_stats(&ds, &q, "no_such_sensor").is_none());
+    }
+
+    #[test]
+    fn pass_rates_multiply_to_selectivity_when_independent() {
+        let ds = smartcity::generate(7, 2000);
+        let q = Query::qs0();
+        let rates = predicate_pass_rates(&ds, &q);
+        assert_eq!(rates.len(), 5);
+        let product: f64 = rates.iter().map(|(_, r)| r).product();
+        let sel = q.selectivity(&ds);
+        // SmartCity sensors are generated independently, so the product
+        // should approximate the joint selectivity.
+        assert!(
+            (product - sel).abs() < 0.05,
+            "product {product} vs selectivity {sel}"
+        );
+    }
+
+    #[test]
+    fn taxi_correlation_breaks_independence() {
+        let ds = taxi::generate(7, 2000);
+        let q = Query::qt();
+        let rates = predicate_pass_rates(&ds, &q);
+        let product: f64 = rates.iter().map(|(_, r)| r).product();
+        let sel = q.selectivity(&ds);
+        // Correlated attributes: the joint selectivity is *higher* than the
+        // independence product (trip_time/fare/distance pass together).
+        assert!(
+            sel > product * 1.2,
+            "selectivity {sel} should exceed independence product {product}"
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = AttrStats {
+            count: 3,
+            min: 1.0,
+            max: 5.0,
+            mean: 2.5,
+        };
+        assert_eq!(s.to_string(), "n=3 min=1.00 mean=2.50 max=5.00");
+    }
+}

@@ -1,0 +1,223 @@
+//! Taxi trip generator.
+//!
+//! Flat JSON records modelled on the NYC taxi trips RiotBench streams.
+//! Two structural properties matter to the paper's results and are
+//! reproduced faithfully:
+//!
+//! * **Correlated attributes** (§IV-A): `trip_time_in_secs` and
+//!   `fare_amount` are functions of `trip_distance` plus noise, which is
+//!   why filtering a single attribute of the trio suffices;
+//! * the **`total_amount` key**, whose letters are a subset of
+//!   `tolls_amount`'s — with block length B = 1 the substring matcher
+//!   fires on it in *every* record (Table II, FPR 1.000).
+//!
+//! Most trips have `tolls_amount` 0.00; the toll range predicate is the
+//! dominant selector of QT.
+
+use crate::dataset::Dataset;
+use crate::dist::{chance, choice, fixed, log_normal, normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TaxiParams {
+    /// Median / sigma of trip distance (miles, log-normal).
+    pub distance: (f64, f64),
+    /// Probability a trip pays a toll.
+    pub toll_probability: f64,
+    /// Probability a trip is paid by card (and therefore tips).
+    pub card_probability: f64,
+}
+
+impl Default for TaxiParams {
+    fn default() -> Self {
+        TaxiParams {
+            distance: (2.2, 0.8),
+            toll_probability: 0.12,
+            card_probability: 0.60,
+        }
+    }
+}
+
+const TOLLS: [f64; 5] = [2.80, 4.80, 5.33, 6.50, 12.50];
+const VENDORS: [&str; 2] = ["CMT", "VTS"];
+
+/// Generates `n` taxi trip records with default parameters.
+pub fn generate(seed: u64, n: usize) -> Dataset {
+    generate_with(seed, n, &TaxiParams::default())
+}
+
+/// Generates `n` taxi trip records.
+pub fn generate_with(seed: u64, n: usize, p: &TaxiParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let distance = log_normal(&mut rng, p.distance.0, p.distance.1).min(120.0);
+        // ~15 mph average with speed noise.
+        let secs_per_mile = rng.gen_range(170.0..330.0);
+        let trip_time = (distance * secs_per_mile).round().max(30.0) as i64;
+        let fare = (2.5 + 2.5 * distance + normal(&mut rng, 0.0, 1.0).abs()).max(2.5);
+        let card = chance(&mut rng, p.card_probability);
+        let tip = if card {
+            fare * rng.gen_range(0.10..0.30)
+        } else {
+            0.0
+        };
+        let tolls = if chance(&mut rng, p.toll_probability) {
+            *choice(&mut rng, &TOLLS)
+        } else {
+            0.0
+        };
+        let surcharge = if chance(&mut rng, 0.3) { 0.5 } else { 0.0 };
+        let mta_tax = 0.5;
+        let total = fare + tip + tolls + surcharge + mta_tax;
+        let medallion = pseudo_hash(&mut rng);
+        let hack = pseudo_hash(&mut rng);
+        let minute = (i / 60) % 60;
+        let second = i % 60;
+        let record = format!(
+            concat!(
+                "{{\"medallion\":\"{med}\",",
+                "\"hack_license\":\"{hack}\",",
+                "\"vendor_id\":\"{vendor}\",",
+                "\"pickup_datetime\":\"2013-01-07 09:{min:02}:{sec:02}\",",
+                "\"payment_type\":\"{pay}\",",
+                "\"trip_time_in_secs\":{time},",
+                "\"trip_distance\":{dist},",
+                "\"fare_amount\":{fare},",
+                "\"surcharge\":{sur},",
+                "\"mta_tax\":{tax},",
+                "\"tip_amount\":{tip},",
+                "\"tolls_amount\":{tolls},",
+                "\"total_amount\":{total}}}"
+            ),
+            med = medallion,
+            hack = hack,
+            vendor = choice(&mut rng, &VENDORS),
+            min = minute,
+            sec = second,
+            pay = if card { "CRD" } else { "CSH" },
+            time = trip_time,
+            dist = fixed(distance, 2),
+            fare = fixed(fare, 2),
+            sur = fixed(surcharge, 2),
+            tax = fixed(mta_tax, 2),
+            tip = fixed(tip, 2),
+            tolls = fixed(tolls, 2),
+            total = fixed(total, 2),
+        );
+        records.push(record.into_bytes());
+    }
+    Dataset::new("taxi", records)
+}
+
+/// 32-hex-character pseudo id, like the FOIL medallion hashes.
+fn pseudo_hash(rng: &mut StdRng) -> String {
+    const HEX: &[u8] = b"0123456789ABCDEF";
+    (0..32)
+        .map(|_| HEX[rng.gen_range(0..16)] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::Query;
+    #[test]
+    fn records_have_all_keys() {
+        let ds = generate(1, 30);
+        for v in ds.parsed() {
+            for key in [
+                "medallion",
+                "hack_license",
+                "pickup_datetime",
+                "trip_time_in_secs",
+                "trip_distance",
+                "fare_amount",
+                "tip_amount",
+                "tolls_amount",
+                "total_amount",
+            ] {
+                assert!(v.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_time_follows_distance() {
+        let ds = generate(5, 500);
+        let q = Query::qt();
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for v in ds.parsed() {
+            let d = q.attribute_value(&v, "trip_distance").unwrap();
+            let t = q.attribute_value(&v, "trip_time_in_secs").unwrap();
+            pairs.push((d, t));
+        }
+        // Pearson correlation must be strongly positive (§IV-A:
+        // "trip_time_in_secs and fare_amount are highly dependent on
+        // trip_distance").
+        let n = pairs.len() as f64;
+        let (mx, my) = (
+            pairs.iter().map(|p| p.0).sum::<f64>() / n,
+            pairs.iter().map(|p| p.1).sum::<f64>() / n,
+        );
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        let r = cov / (sx * sy);
+        assert!(r > 0.8, "correlation {r}");
+    }
+
+    #[test]
+    fn tolls_mostly_zero() {
+        let ds = generate(2, 1000);
+        let q = Query::qt();
+        let with_tolls = ds
+            .parsed()
+            .iter()
+            .filter(|v| q.attribute_value(v, "tolls_amount").unwrap() > 0.0)
+            .count();
+        let frac = with_tolls as f64 / 1000.0;
+        assert!((0.06..0.20).contains(&frac), "toll fraction {frac}");
+    }
+
+    #[test]
+    fn qt_selectivity_near_table8() {
+        let ds = generate(42, 4000);
+        let s = Query::qt().selectivity(&ds);
+        assert!((0.02..0.12).contains(&s), "QT selectivity {s} (paper: 5.7 %)");
+    }
+
+    #[test]
+    fn money_fields_have_two_decimals() {
+        let ds = generate(3, 5);
+        for r in ds.records() {
+            let text = String::from_utf8_lossy(r);
+            assert!(
+                text.contains("\"tolls_amount\":0.00") || text.contains("\"tolls_amount\":"),
+            );
+            // fare always printed with 2 dp:
+            let idx = text.find("\"fare_amount\":").unwrap();
+            let rest = &text[idx + 14..];
+            let num: String = rest.chars().take_while(|c| *c != ',').collect();
+            assert!(num.contains('.') && num.split('.').nth(1).unwrap().len() == 2, "{num}");
+        }
+    }
+
+    #[test]
+    fn total_amount_key_present_for_anagram_effect() {
+        let ds = generate(4, 3);
+        for r in ds.records() {
+            assert!(
+                String::from_utf8_lossy(r).contains("total_amount"),
+                "Table II depends on this key"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(9, 20).records(), generate(9, 20).records());
+    }
+}

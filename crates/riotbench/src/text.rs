@@ -1,0 +1,130 @@
+//! English-like text generation for the Twitter workload.
+//!
+//! The paper uses the Sentiment140 corpus [Go 2009] as a "more diverse"
+//! dataset to stress the string matchers. What matters for Table III is the
+//! *letter statistics* of real English: words such as "sure", "anna" or
+//! "national" contain runs drawn from the letter sets of the needles
+//! (`user`, `lang`, `location`), which is what makes the B = 1 matcher
+//! produce false positives there and not on machine-generated keys.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Common-word vocabulary (plus a few names) used to synthesise tweets.
+pub const VOCABULARY: &[&str] = &[
+    "the", "be", "to", "of", "and", "a", "in", "that", "have", "it", "for", "not", "on", "with",
+    "he", "as", "you", "do", "at", "this", "but", "his", "by", "from", "they", "we", "say", "her",
+    "she", "or", "an", "will", "my", "one", "all", "would", "there", "their", "what", "so", "up",
+    "out", "if", "about", "who", "get", "which", "go", "me", "when", "make", "can", "like",
+    "time", "no", "just", "him", "know", "take", "people", "into", "year", "your", "good",
+    "some", "could", "them", "see", "other", "than", "then", "now", "look", "only", "come",
+    "its", "over", "think", "also", "back", "after", "use", "two", "how", "our", "work",
+    "first", "well", "way", "even", "new", "want", "because", "any", "these", "give", "day",
+    "most", "us", "great", "morning", "night", "today", "tomorrow", "love", "hate", "really",
+    "very", "happy", "sad", "tired", "excited", "sure", "maybe", "never", "always", "again",
+    "still", "home", "school", "music", "movie", "game", "team", "play", "watch", "read",
+    "write", "listen", "weather", "rain", "sunny", "coffee", "lunch", "dinner", "breakfast",
+    "friend", "family", "weekend", "monday", "friday", "sunday", "party", "birthday", "national",
+    "station", "nation", "notation", "banana", "anna", "alan", "gala", "angle", "signal",
+    "annual", "manual", "casual", "usual", "visual", "channel", "planner", "scanner", "analog",
+    "catalog", "dialog", "total", "local", "vocal", "final", "canal", "loan", "alone", "along",
+    "among", "strong", "wrong", "song", "long", "gone", "done", "none", "bone", "zone", "users",
+    "reuse", "excuse", "because", "house", "mouse", "pause", "cause", "amuse", "museum",
+    "serious", "curious", "furious", "various", "obvious", "jealous", "nervous", "famous",
+];
+
+/// Location strings (profile `location` field values).
+pub const LOCATIONS: &[&str] = &[
+    "London", "New York", "Atlanta", "California", "Toronto", "Berlin", "Singapore", "Chicago",
+    "Los Angeles", "Dallas", "Seattle", "Boston", "Portland", "Austin", "Denver", "Miami", "",
+    "somewhere", "earth", "internet",
+];
+
+/// First names for user handles.
+pub const NAMES: &[&str] = &[
+    "anna", "alan", "susan", "laura", "nathan", "megan", "logan", "dylan", "brian", "jason",
+    "sarah", "kevin", "maria", "diana", "elena", "oscar", "peter", "nina", "paula", "samuel",
+];
+
+/// Language codes for the `lang` field.
+pub const LANGS: &[&str] = &["en", "es", "de", "fr", "pt", "it", "nl", "tr"];
+
+/// Generates a tweet-like sentence of `words` words.
+pub fn sentence(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        match rng.gen_range(0u32..100) {
+            0..=2 => {
+                // @mention
+                out.push('@');
+                out.push_str(NAMES[rng.gen_range(0..NAMES.len())]);
+                out.push_str(&rng.gen_range(0u32..999).to_string());
+            }
+            3..=4 => {
+                // #hashtag
+                out.push('#');
+                out.push_str(VOCABULARY[rng.gen_range(0..VOCABULARY.len())]);
+            }
+            _ => {
+                out.push_str(VOCABULARY[rng.gen_range(0..VOCABULARY.len())]);
+            }
+        }
+    }
+    match rng.gen_range(0u32..4) {
+        0 => out.push('!'),
+        1 => out.push('.'),
+        2 => out.push_str("..."),
+        _ => {}
+    }
+    out
+}
+
+/// A screen name like `anna_banana42`.
+pub fn screen_name(rng: &mut StdRng) -> String {
+    let a = NAMES[rng.gen_range(0..NAMES.len())];
+    let b = VOCABULARY[rng.gen_range(0..VOCABULARY.len())];
+    format!("{a}_{b}{}", rng.gen_range(0u32..100))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentences_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 12);
+        let words = s.split_whitespace().count();
+        assert_eq!(words, 12, "sentence: {s}");
+    }
+
+    #[test]
+    fn text_is_json_safe_ascii() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = sentence(&mut rng, 20);
+            assert!(s.is_ascii());
+            assert!(!s.contains('"') && !s.contains('\\'));
+        }
+    }
+
+    #[test]
+    fn vocabulary_contains_fpr_drivers() {
+        // Words whose letters fall inside the needles' letter sets — the
+        // cause of Table III's B=1 false positives.
+        for w in ["sure", "anna", "national", "users", "banana"] {
+            assert!(VOCABULARY.contains(&w) || NAMES.contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(sentence(&mut a, 10), sentence(&mut b, 10));
+    }
+}

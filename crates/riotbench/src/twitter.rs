@@ -1,0 +1,137 @@
+//! Twitter-style records for the string-matcher stress test (Table III).
+//!
+//! The schema follows the classic Twitter REST API: a `user` object with
+//! profile fields (including `statuses_count`, whose `uses` byte run makes
+//! `s1("user")` fire spuriously in every record) embedded in a status
+//! object with `created_at`, `text` and `lang`.
+
+use crate::dataset::Dataset;
+use crate::text::{screen_name, sentence, LANGS, LOCATIONS, NAMES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Generates `n` Twitter-like status records.
+pub fn generate(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let day = DAYS[rng.gen_range(0..7)];
+        let month = MONTHS[rng.gen_range(0..12)];
+        let dom = rng.gen_range(1u32..29);
+        let (h, m, s) = (
+            rng.gen_range(0u32..24),
+            rng.gen_range(0u32..60),
+            rng.gen_range(0u32..60),
+        );
+        let n_words = rng.gen_range(6..24);
+        let text = sentence(&mut rng, n_words);
+        let name = NAMES[rng.gen_range(0..NAMES.len())];
+        let screen = screen_name(&mut rng);
+        let location = LOCATIONS[rng.gen_range(0..LOCATIONS.len())];
+        let lang = LANGS[rng.gen_range(0..LANGS.len())];
+        let record = format!(
+            concat!(
+                "{{\"created_at\":\"{day} {month} {dom:02} {h:02}:{m:02}:{s:02} +0000 2009\",",
+                "\"id\":{id},",
+                "\"text\":\"{text}\",",
+                "\"user\":{{",
+                "\"id\":{uid},",
+                "\"name\":\"{name}\",",
+                "\"screen_name\":\"{screen}\",",
+                "\"location\":\"{location}\",",
+                "\"followers_count\":{followers},",
+                "\"friends_count\":{friends},",
+                "\"favourites_count\":{favs},",
+                "\"statuses_count\":{statuses},",
+                "\"lang\":\"{lang}\"",
+                "}},",
+                "\"retweet_count\":{rts},",
+                "\"lang\":\"{lang}\"}}"
+            ),
+            day = day,
+            month = month,
+            dom = dom,
+            h = h,
+            m = m,
+            s = s,
+            id = 1_000_000_000u64 + i as u64,
+            text = text,
+            uid = rng.gen_range(10_000u64..99_999_999),
+            name = name,
+            screen = screen,
+            location = location,
+            followers = rng.gen_range(0u32..50_000),
+            friends = rng.gen_range(0u32..5_000),
+            favs = rng.gen_range(0u32..20_000),
+            statuses = rng.gen_range(1u32..100_000),
+            lang = lang,
+            rts = rng.gen_range(0u32..1000),
+        );
+        records.push(record.into_bytes());
+    }
+    Dataset::new("twitter", records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfjson_jsonstream::Value;
+
+    #[test]
+    fn records_parse_and_carry_needle_keys() {
+        let ds = generate(1, 40);
+        for v in ds.parsed() {
+            assert!(v.get("created_at").is_some());
+            let user = v.get("user").expect("user object");
+            for key in [
+                "location",
+                "favourites_count",
+                "statuses_count",
+                "lang",
+                "screen_name",
+            ] {
+                assert!(user.get(key).is_some(), "missing user.{key}");
+            }
+            assert!(v.get("lang").and_then(Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn statuses_count_key_present_for_user_fpr() {
+        // `statuses_count` contains the byte run "uses" — 4 consecutive
+        // members of {u,s,e,r} — which is what drives s1("user") to
+        // FPR 1.000 in Table III.
+        let ds = generate(2, 10);
+        for r in ds.records() {
+            assert!(String::from_utf8_lossy(r).contains("statuses_count"));
+        }
+    }
+
+    #[test]
+    fn text_diversity() {
+        let ds = generate(3, 200);
+        // Twitter text must be diverse enough that some records contain
+        // English words with 4-letter runs from {l,a,n,g} (drives the
+        // s1("lang") FPR of Table III) while most do not.
+        let with_anna_like = ds
+            .records()
+            .iter()
+            .filter(|r| {
+                let t = String::from_utf8_lossy(r);
+                t.contains("anna") || t.contains("alan") || t.contains("gala")
+            })
+            .count();
+        assert!(with_anna_like > 0, "some letter-run collisions must exist");
+        assert!(with_anna_like < 200, "but not in every record");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(11, 25).records(), generate(11, 25).records());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the workload generators: every record of every
+//! dataset is valid JSON with the expected schema, ground truth is
+//! well-defined, and statistics are stable across seeds.
+
+use proptest::prelude::*;
+use rfjson_jsonstream::{parse, Value};
+use rfjson_riotbench::{smartcity, taxi, twitter, Query};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn smartcity_records_valid_for_any_seed(seed in any::<u64>()) {
+        let ds = smartcity::generate(seed, 25);
+        let q = Query::qs0();
+        for v in ds.parsed() {
+            // All five sensors present with numeric values.
+            for p in &q.predicates {
+                let val = q.attribute_value(&v, &p.attribute);
+                prop_assert!(val.is_some(), "missing {}", p.attribute);
+            }
+            prop_assert!(v.get("bt").and_then(Value::as_f64).is_some());
+        }
+    }
+
+    #[test]
+    fn taxi_records_valid_for_any_seed(seed in any::<u64>()) {
+        let ds = taxi::generate(seed, 25);
+        let q = Query::qt();
+        for (raw, v) in ds.records().iter().zip(ds.parsed()) {
+            for p in &q.predicates {
+                prop_assert!(q.attribute_value(&v, &p.attribute).is_some());
+            }
+            // Monetary consistency: total ≥ fare.
+            let fare = v.get("fare_amount").and_then(Value::as_f64).unwrap();
+            let total = v.get("total_amount").and_then(Value::as_f64).unwrap();
+            prop_assert!(total >= fare, "total {total} < fare {fare}");
+            // The anagram key must be present in the raw bytes.
+            prop_assert!(String::from_utf8_lossy(raw).contains("total_amount"));
+        }
+    }
+
+    #[test]
+    fn twitter_records_valid_for_any_seed(seed in any::<u64>()) {
+        let ds = twitter::generate(seed, 25);
+        for r in ds.records() {
+            let v = parse(r).expect("twitter record parses");
+            prop_assert!(v.get("user").is_some());
+            prop_assert!(v.get("created_at").is_some());
+            prop_assert!(v.get("text").and_then(Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn selectivities_stable_across_seeds(seed in 0u64..1000) {
+        // Distribution tuning must not be seed-sensitive: QS1 stays a
+        // highly-selective query for any seed.
+        let ds = smartcity::generate(seed, 800);
+        let s1 = Query::qs1().selectivity(&ds);
+        prop_assert!((0.0..0.25).contains(&s1), "QS1 selectivity {s1}");
+        let s0 = Query::qs0().selectivity(&ds);
+        prop_assert!((0.4..0.85).contains(&s0), "QS0 selectivity {s0}");
+    }
+
+    #[test]
+    fn inflation_preserves_record_validity(seed in any::<u64>(), target in 1000usize..20_000) {
+        let ds = smartcity::generate(seed, 5).inflated_to(target);
+        prop_assert!(ds.stream().len() >= target);
+        for v in ds.parsed() {
+            prop_assert!(v.get("e").is_some());
+        }
+    }
+}

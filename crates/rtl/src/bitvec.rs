@@ -1,0 +1,225 @@
+//! Arbitrary-width bit vectors.
+//!
+//! [`BitVec`] is the value type exchanged at the simulator boundary: input
+//! words are driven from a `BitVec` and multi-bit outputs are sampled into
+//! one. It is intentionally minimal — dense `u64` limbs, LSB-first indexing.
+
+use std::fmt;
+
+/// A fixed-width vector of bits, indexed LSB-first.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_rtl::BitVec;
+///
+/// let v = BitVec::from_u64(0b1011, 4);
+/// assert!(v.get(0));
+/// assert!(!v.get(2));
+/// assert_eq!(v.to_u64(), 0b1011);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    limbs: Vec<u64>,
+    width: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `width` bits.
+    pub fn zeros(width: usize) -> Self {
+        BitVec {
+            limbs: vec![0; width.div_ceil(64)],
+            width,
+        }
+    }
+
+    /// Creates an all-one vector of `width` bits.
+    pub fn ones(width: usize) -> Self {
+        let mut v = Self::zeros(width);
+        for i in 0..width {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector holding the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has significant bits above `width`.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!(
+            width >= 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut v = Self::zeros(width);
+        if !v.limbs.is_empty() {
+            v.limbs[0] = value;
+        }
+        v
+    }
+
+    /// Builds a vector from a little-endian bit iterator.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns `true` when the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.width == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range {}", self.width);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range {}", self.width);
+        let limb = &mut self.limbs[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Interprets the low (up to) 64 bits as an unsigned integer.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Iterates over the bits, LSB first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(|i| self.get(i))
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.iter().filter(|b| *b).count()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec<{}>(", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.width == 0 {
+            write!(f, "<empty>")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_width() {
+        let v = BitVec::zeros(70);
+        assert_eq!(v.width(), 70);
+        assert!(!v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert!((0..70).all(|i| !v.get(i)));
+    }
+
+    #[test]
+    fn ones_has_all_bits() {
+        let v = BitVec::ones(65);
+        assert_eq!(v.count_ones(), 65);
+    }
+
+    #[test]
+    fn from_u64_round_trip() {
+        let v = BitVec::from_u64(0xDEAD_BEEF, 32);
+        assert_eq!(v.to_u64(), 0xDEAD_BEEF);
+        assert_eq!(v.width(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_rejects_overflow() {
+        let _ = BitVec::from_u64(16, 4);
+    }
+
+    #[test]
+    fn set_get_across_limbs() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    fn bit_iterator_round_trip() {
+        let bits = [true, false, true, true, false];
+        let v: BitVec = bits.iter().copied().collect();
+        let back: Vec<bool> = v.iter().collect();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let v = BitVec::from_u64(0b1010, 4);
+        assert_eq!(v.to_string(), "1010");
+        assert_eq!(format!("{v:?}"), "BitVec<4>(1010)");
+    }
+
+    #[test]
+    fn empty_display_nonempty() {
+        // C-DEBUG-NONEMPTY: even a zero-width vector renders visibly.
+        let v = BitVec::zeros(0);
+        assert_eq!(v.to_string(), "<empty>");
+    }
+}

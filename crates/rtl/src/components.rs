@@ -1,0 +1,783 @@
+//! Word-level RTL generator library.
+//!
+//! These helpers emit gate networks into a [`Netlist`] for the recurring
+//! structures of the paper's raw filters: constant comparators (the `==’te’`
+//! blocks of Fig. 1), range comparators (for byte classes of number-filter
+//! DFAs), OR-reduction trees, shift-register byte buffers, saturating match
+//! counters and set/reset match latches.
+//!
+//! All words are little-endian `&[NodeId]` slices (bit 0 = LSB).
+
+use crate::netlist::{Netlist, NodeId};
+use std::fmt;
+
+/// A set of byte values, used to label DFA transitions and to generate
+/// byte-class match logic.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_rtl::components::ByteSet;
+///
+/// let digits = ByteSet::from_range(b'0', b'9');
+/// assert!(digits.contains(b'5'));
+/// assert_eq!(digits.ranges(), vec![(b'0', b'9')]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ByteSet {
+    words: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set containing every byte value.
+    pub fn full() -> Self {
+        ByteSet { words: [!0u64; 4] }
+    }
+
+    /// Set containing a single byte.
+    pub fn from_byte(b: u8) -> Self {
+        let mut s = Self::new();
+        s.insert(b);
+        s
+    }
+
+    /// Set containing the inclusive range `lo..=hi`.
+    pub fn from_range(lo: u8, hi: u8) -> Self {
+        let mut s = Self::new();
+        for b in lo..=hi {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Set containing the given bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut s = Self::new();
+        for &b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.words[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes a byte.
+    pub fn remove(&mut self, b: u8) {
+        self.words[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        (self.words[(b >> 6) as usize] >> (b & 63)) & 1 == 1
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no byte is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Intersection of two sets.
+    #[must_use]
+    pub fn intersect(&self, other: &ByteSet) -> ByteSet {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Complement set.
+    #[must_use]
+    pub fn complement(&self) -> ByteSet {
+        let mut w = self.words;
+        for a in w.iter_mut() {
+            *a = !*a;
+        }
+        ByteSet { words: w }
+    }
+
+    /// Iterates the member bytes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).map(|b| b as u8).filter(|&b| self.contains(b))
+    }
+
+    /// Maximal runs of consecutive member bytes as inclusive `(lo, hi)`
+    /// pairs — the form the range-comparator generator consumes.
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut run: Option<(u8, u8)> = None;
+        for b in 0u16..256 {
+            let b = b as u8;
+            if self.contains(b) {
+                run = match run {
+                    Some((lo, _)) => Some((lo, b)),
+                    None => Some((b, b)),
+                };
+            } else if let Some(r) = run.take() {
+                out.push(r);
+            }
+        }
+        if let Some(r) = run {
+            out.push(r);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet{{")?;
+        for (i, (lo, hi)) in self.ranges().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if lo == hi {
+                write!(f, "{lo:#04x}")?;
+            } else {
+                write!(f, "{lo:#04x}-{hi:#04x}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Emits `word == value` (bitwise compare against a constant).
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `word.len()` bits.
+pub fn eq_const(n: &mut Netlist, word: &[NodeId], value: u64) -> NodeId {
+    assert!(
+        word.len() >= 64 || value < (1u64 << word.len()),
+        "constant {value} too wide for {} bits",
+        word.len()
+    );
+    let mut acc = n.constant(true);
+    for (i, &bit) in word.iter().enumerate() {
+        let want = (value >> i) & 1 == 1;
+        let term = if want { bit } else { n.not(bit) };
+        acc = n.and_gate(acc, term);
+    }
+    acc
+}
+
+/// Emits `word >= value` (unsigned).
+pub fn ge_const(n: &mut Netlist, word: &[NodeId], value: u64) -> NodeId {
+    let (gt, eq) = cmp_const(n, word, value);
+    n.or_gate(gt, eq)
+}
+
+/// Emits `word <= value` (unsigned).
+pub fn le_const(n: &mut Netlist, word: &[NodeId], value: u64) -> NodeId {
+    let (gt, _) = cmp_const(n, word, value);
+    n.not(gt)
+}
+
+/// Emits `lo <= word && word <= hi` (unsigned, inclusive).
+pub fn in_range_const(n: &mut Netlist, word: &[NodeId], lo: u64, hi: u64) -> NodeId {
+    debug_assert!(lo <= hi);
+    let ge = ge_const(n, word, lo);
+    let le = le_const(n, word, hi);
+    n.and_gate(ge, le)
+}
+
+/// Builds `(word > value, word == value)` with an LSB-to-MSB ripple chain.
+fn cmp_const(n: &mut Netlist, word: &[NodeId], value: u64) -> (NodeId, NodeId) {
+    let mut gt = n.constant(false);
+    let mut eq = n.constant(true);
+    for (i, &bit) in word.iter().enumerate() {
+        let c = (value >> i) & 1 == 1;
+        // bit vs c at this position:
+        //   bit_gt = bit & !c, bit_eq = XNOR(bit,c)
+        let (bit_gt, bit_eq) = if c {
+            (n.constant(false), bit)
+        } else {
+            (bit, n.not(bit))
+        };
+        // Higher bit dominates: gt' = bit_gt | (bit_eq & gt)
+        let keep = n.and_gate(bit_eq, gt);
+        gt = n.or_gate(bit_gt, keep);
+        eq = n.and_gate(eq, bit_eq);
+    }
+    (gt, eq)
+}
+
+/// Balanced OR-reduction tree over `bits` (constant `false` when empty).
+pub fn or_reduce(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
+    reduce(n, bits, false, Netlist::or_gate)
+}
+
+/// Balanced AND-reduction tree over `bits` (constant `true` when empty).
+pub fn and_reduce(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
+    reduce(n, bits, true, Netlist::and_gate)
+}
+
+fn reduce(
+    n: &mut Netlist,
+    bits: &[NodeId],
+    empty: bool,
+    op: fn(&mut Netlist, NodeId, NodeId) -> NodeId,
+) -> NodeId {
+    match bits.len() {
+        0 => n.constant(empty),
+        1 => bits[0],
+        _ => {
+            let mid = bits.len() / 2;
+            let l = reduce(n, &bits[..mid], empty, op);
+            let r = reduce(n, &bits[mid..], empty, op);
+            op(n, l, r)
+        }
+    }
+}
+
+/// Emits logic testing whether an 8-bit `byte` word is a member of `set`.
+///
+/// Sparse sets use range/equality comparators; dense irregular sets use an
+/// explicit Shannon cofactor structure — four sub-functions over the low
+/// six bits selected by the two high bits — so a K=6 LUT mapper covers any
+/// byte-set membership with at most five LUTs, mirroring how synthesis
+/// tools pack such functions into LUT6 pairs plus F7/F8 muxes.
+pub fn byte_in_set(n: &mut Netlist, byte: &[NodeId], set: &ByteSet) -> NodeId {
+    debug_assert_eq!(byte.len(), 8, "byte words are 8 bits");
+    if set.is_empty() {
+        return n.constant(false);
+    }
+    if set.len() == 256 {
+        return n.constant(true);
+    }
+    let ranges = set.ranges();
+    let comp = set.complement().ranges();
+    let sparse = ranges.len().min(comp.len()) <= 2;
+    if sparse {
+        if comp.len() < ranges.len() {
+            let hit = ranges_match(n, byte, &comp);
+            return n.not(hit);
+        }
+        return ranges_match(n, byte, &ranges);
+    }
+    // Cofactor on the two high bits: each quadrant is a function of the
+    // low six bits only (guaranteed single-LUT cones after mapping).
+    let low = &byte[..6];
+    let mut quads = Vec::with_capacity(4);
+    for q in 0..4u8 {
+        let mut quad_set = ByteSet::new();
+        for b in 0..64u8 {
+            if set.contains(q << 6 | b) {
+                quad_set.insert(b);
+            }
+        }
+        quads.push(word_in_set6(n, low, &quad_set));
+    }
+    // 4:1 select by the high bits — 6 inputs, one LUT after mapping.
+    let lo_sel = n.mux(byte[6], quads[1], quads[0]);
+    let hi_sel = n.mux(byte[6], quads[3], quads[2]);
+    n.mux(byte[7], hi_sel, lo_sel)
+}
+
+/// Membership of a 6-bit word in a set of values 0..64 (built from the
+/// cheaper of direct or complemented ranges; support stays within the six
+/// given bits).
+fn word_in_set6(n: &mut Netlist, word: &[NodeId], set: &ByteSet) -> NodeId {
+    debug_assert_eq!(word.len(), 6);
+    let count = set.iter().filter(|&b| b < 64).count();
+    if count == 0 {
+        return n.constant(false);
+    }
+    if count == 64 {
+        return n.constant(true);
+    }
+    let ranges: Vec<(u8, u8)> = set.ranges();
+    let mut comp = ByteSet::new();
+    for b in 0..64u8 {
+        if !set.contains(b) {
+            comp.insert(b);
+        }
+    }
+    let comp_ranges = comp.ranges();
+    if comp_ranges.len() < ranges.len() {
+        let hit = ranges_match(n, word, &comp_ranges);
+        n.not(hit)
+    } else {
+        ranges_match(n, word, &ranges)
+    }
+}
+
+fn ranges_match(n: &mut Netlist, byte: &[NodeId], ranges: &[(u8, u8)]) -> NodeId {
+    let terms: Vec<NodeId> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            if lo == hi {
+                eq_const(n, byte, u64::from(lo))
+            } else {
+                in_range_const(n, byte, u64::from(lo), u64::from(hi))
+            }
+        })
+        .collect();
+    or_reduce(n, &terms)
+}
+
+/// A chain of byte registers: returns `depth` delayed copies of `byte_in`,
+/// `result[0]` delayed by one cycle, `result[depth-1]` by `depth` cycles.
+/// This is the "buffer of the last B bytes" of the substring matcher.
+pub fn byte_shift_buffer(n: &mut Netlist, byte_in: &[NodeId], depth: usize) -> Vec<Vec<NodeId>> {
+    let mut stages = Vec::with_capacity(depth);
+    let mut prev: Vec<NodeId> = byte_in.to_vec();
+    for _ in 0..depth {
+        let stage: Vec<NodeId> = prev.iter().map(|&b| n.dff(b, false)).collect();
+        stages.push(stage.clone());
+        prev = stage;
+    }
+    stages
+}
+
+/// A saturating up-counter with synchronous reset.
+///
+/// Per cycle: if `reset` is high the counter clears; otherwise if `incr` is
+/// high it advances by one, saturating at `2^width - 1`. Returns the
+/// registered counter word (value *before* the current cycle's update).
+pub fn saturating_counter(
+    n: &mut Netlist,
+    width: usize,
+    incr: NodeId,
+    reset: NodeId,
+) -> Vec<NodeId> {
+    let count: Vec<NodeId> = (0..width).map(|_| n.dff_placeholder(false)).collect();
+    // increment with ripple carry
+    let mut carry = n.constant(true);
+    let mut incd = Vec::with_capacity(width);
+    for &bit in &count {
+        incd.push(n.xor_gate(bit, carry));
+        carry = n.and_gate(bit, carry);
+    }
+    // saturate: when all ones, stay
+    let at_max = and_reduce(n, &count);
+    let next_if_incr: Vec<NodeId> = count
+        .iter()
+        .zip(&incd)
+        .map(|(&cur, &inc)| n.mux(at_max, cur, inc))
+        .collect();
+    for ((&ff, &cur), &nxt) in count.iter().zip(&count).zip(&next_if_incr) {
+        let advanced = n.mux(incr, nxt, cur);
+        let zero = n.constant(false);
+        let next = n.mux(reset, zero, advanced);
+        n.connect_dff(ff, next);
+    }
+    count
+}
+
+/// A set-dominant match latch: output goes high when `set` is high and stays
+/// high until `clear` (record boundary) resets it. Returns the *combinational*
+/// "matched so far including this cycle" signal.
+pub fn match_latch(n: &mut Netlist, set: NodeId, clear: NodeId) -> NodeId {
+    let ff = n.dff_placeholder(false);
+    let held = n.or_gate(ff, set);
+    let zero = n.constant(false);
+    let next = n.mux(clear, zero, held);
+    n.connect_dff(ff, next);
+    held
+}
+
+/// Emits `counter >= target` for a registered counter word. `target` must
+/// fit the counter width.
+pub fn counter_reaches(n: &mut Netlist, counter: &[NodeId], target: u64) -> NodeId {
+    ge_const(n, counter, target)
+}
+
+/// Number of bits needed to count up to `max` inclusive (at least 1).
+pub fn bits_for(max: u64) -> usize {
+    (64 - max.leading_zeros() as usize).max(1)
+}
+
+/// Emits `a == b` for two words of equal width.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn eq_word(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len(), "word widths must match");
+    let terms: Vec<NodeId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let ne = n.xor_gate(x, y);
+            n.not(ne)
+        })
+        .collect();
+    and_reduce(n, &terms)
+}
+
+/// Emits `a <= b` (unsigned) for two words of equal width.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn le_word(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len(), "word widths must match");
+    // LSB-to-MSB ripple: lt' = (b_i & !a_i) | (eq_i & lt); higher bits win.
+    let mut le = n.constant(true);
+    for (&x, &y) in a.iter().zip(b) {
+        let nx = n.not(x);
+        let bit_lt = n.and_gate(nx, y);
+        let ne = n.xor_gate(x, y);
+        let bit_eq = n.not(ne);
+        let keep = n.and_gate(bit_eq, le);
+        le = n.or_gate(bit_lt, keep);
+    }
+    le
+}
+
+/// Word increment by one (wrapping at 2^width).
+pub fn inc_word(n: &mut Netlist, a: &[NodeId]) -> Vec<NodeId> {
+    let mut carry = n.constant(true);
+    let mut out = Vec::with_capacity(a.len());
+    for &bit in a {
+        out.push(n.xor_gate(bit, carry));
+        carry = n.and_gate(bit, carry);
+    }
+    out
+}
+
+/// Word decrement by one, clamped at zero (`0 - 1 = 0`).
+pub fn dec_word_saturate(n: &mut Netlist, a: &[NodeId]) -> Vec<NodeId> {
+    // borrow chain: borrow' = !a_i & borrow ; out_i = a_i ^ borrow
+    let mut borrow = n.constant(true);
+    let mut dec = Vec::with_capacity(a.len());
+    for &bit in a {
+        dec.push(n.xor_gate(bit, borrow));
+        let nb = n.not(bit);
+        borrow = n.and_gate(nb, borrow);
+    }
+    let is_zero_terms: Vec<NodeId> = a.iter().map(|&b| n.not(b)).collect();
+    let is_zero = and_reduce(n, &is_zero_terms);
+    a.iter()
+        .zip(dec)
+        .map(|(&orig, d)| n.mux(is_zero, orig, d))
+        .collect()
+}
+
+/// Word-level 2:1 multiplexer: `sel ? t : f`, elementwise.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn mux_word(n: &mut Netlist, sel: NodeId, t: &[NodeId], f: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(t.len(), f.len(), "word widths must match");
+    t.iter().zip(f).map(|(&a, &b)| n.mux(sel, a, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::BitVec;
+
+    fn eval_byte_fn(build: impl Fn(&mut Netlist, &[NodeId]) -> NodeId) -> Vec<bool> {
+        let mut n = Netlist::new("t");
+        let byte = n.input_word("b", 8);
+        let y = build(&mut n, &byte);
+        n.output("y", y);
+        let mut sim = Simulator::new(&n).unwrap();
+        (0u16..256)
+            .map(|v| {
+                sim.set_input_word("b", &BitVec::from_u64(u64::from(v), 8)).unwrap();
+                sim.settle();
+                sim.output("y").unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq_const_exhaustive() {
+        let out = eval_byte_fn(|n, b| eq_const(n, b, 0x41));
+        for (v, got) in out.iter().enumerate() {
+            assert_eq!(*got, v == 0x41, "byte {v:#x}");
+        }
+    }
+
+    #[test]
+    fn ge_le_range_exhaustive() {
+        let ge = eval_byte_fn(|n, b| ge_const(n, b, 100));
+        let le = eval_byte_fn(|n, b| le_const(n, b, 100));
+        let rng = eval_byte_fn(|n, b| in_range_const(n, b, 48, 57));
+        for v in 0..256usize {
+            assert_eq!(ge[v], v >= 100);
+            assert_eq!(le[v], v <= 100);
+            assert_eq!(rng[v], (48..=57).contains(&v));
+        }
+    }
+
+    #[test]
+    fn byte_set_basics() {
+        let mut s = ByteSet::from_bytes(b"abc");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(b'a') && !s.contains(b'd'));
+        s.remove(b'b');
+        assert_eq!(s.ranges(), vec![(b'a', b'a'), (b'c', b'c')]);
+        assert_eq!(s.complement().len(), 254);
+        let t = ByteSet::from_range(b'a', b'z');
+        assert_eq!(s.union(&t).len(), 26);
+        assert_eq!(s.intersect(&t), s);
+        assert_eq!(ByteSet::full().len(), 256);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("0x61"));
+    }
+
+    #[test]
+    fn byte_set_iter_sorted() {
+        let s = ByteSet::from_bytes(b"zax");
+        let v: Vec<u8> = s.iter().collect();
+        assert_eq!(v, vec![b'a', b'x', b'z']);
+    }
+
+    #[test]
+    fn byte_in_set_exhaustive() {
+        let set = ByteSet::from_bytes(b"0123456789.-+eE");
+        let out = eval_byte_fn(|n, b| byte_in_set(n, b, &set));
+        for v in 0..256usize {
+            assert_eq!(out[v], set.contains(v as u8), "byte {v:#x}");
+        }
+    }
+
+    #[test]
+    fn byte_in_set_complement_cheaper() {
+        // A set of 255 bytes: complement has a single range, so the
+        // complement path is used; behaviour must be identical.
+        let mut set = ByteSet::full();
+        set.remove(b'Q');
+        let out = eval_byte_fn(|n, b| byte_in_set(n, b, &set));
+        for v in 0..256usize {
+            assert_eq!(out[v], v != usize::from(b'Q'));
+        }
+    }
+
+    #[test]
+    fn byte_in_set_degenerate() {
+        let empty = eval_byte_fn(|n, b| byte_in_set(n, b, &ByteSet::new()));
+        assert!(empty.iter().all(|x| !x));
+        let full = eval_byte_fn(|n, b| byte_in_set(n, b, &ByteSet::full()));
+        assert!(full.iter().all(|x| *x));
+    }
+
+    #[test]
+    fn or_and_reduce() {
+        let mut n = Netlist::new("t");
+        let w = n.input_word("x", 5);
+        let o = or_reduce(&mut n, &w);
+        let a = and_reduce(&mut n, &w);
+        n.output("o", o);
+        n.output("a", a);
+        let mut sim = Simulator::new(&n).unwrap();
+        for v in 0..32u64 {
+            sim.set_input_word("x", &BitVec::from_u64(v, 5)).unwrap();
+            sim.settle();
+            assert_eq!(sim.output("o").unwrap(), v != 0);
+            assert_eq!(sim.output("a").unwrap(), v == 31);
+        }
+    }
+
+    #[test]
+    fn reduce_empty_and_singleton() {
+        let mut n = Netlist::new("t");
+        let x = n.input("x");
+        assert_eq!(or_reduce(&mut n, &[]), n.constant(false));
+        assert_eq!(and_reduce(&mut n, &[]), n.constant(true));
+        assert_eq!(or_reduce(&mut n, &[x]), x);
+    }
+
+    #[test]
+    fn shift_buffer_delays_bytes() {
+        let mut n = Netlist::new("t");
+        let byte = n.input_word("b", 8);
+        let stages = byte_shift_buffer(&mut n, &byte, 2);
+        for (i, s) in stages.iter().enumerate() {
+            for (j, &bit) in s.iter().enumerate() {
+                n.output(format!("s{i}[{j}]"), bit);
+            }
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        let data = b"XYZ";
+        let mut hist = Vec::new();
+        for &c in data {
+            sim.set_input_word("b", &BitVec::from_u64(u64::from(c), 8)).unwrap();
+            sim.settle();
+            hist.push((
+                sim.output_word("s0", 8).unwrap().to_u64() as u8,
+                sim.output_word("s1", 8).unwrap().to_u64() as u8,
+            ));
+            sim.clock();
+        }
+        assert_eq!(hist[0], (0, 0));
+        assert_eq!(hist[1], (b'X', 0));
+        assert_eq!(hist[2], (b'Y', b'X'));
+    }
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let mut n = Netlist::new("t");
+        let incr = n.input("incr");
+        let reset = n.input("reset");
+        let count = saturating_counter(&mut n, 2, incr, reset);
+        for (i, &bit) in count.iter().enumerate() {
+            n.output(format!("c[{i}]"), bit);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("incr", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            sim.settle();
+            seen.push(sim.output_word("c", 2).unwrap().to_u64());
+            sim.clock();
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 3, 3], "saturates at max");
+        sim.set_input("reset", true).unwrap();
+        sim.clock();
+        assert_eq!(sim.output_word("c", 2).unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn counter_holds_without_incr() {
+        let mut n = Netlist::new("t");
+        let incr = n.input("incr");
+        let reset = n.input("reset");
+        let count = saturating_counter(&mut n, 3, incr, reset);
+        for (i, &bit) in count.iter().enumerate() {
+            n.output(format!("c[{i}]"), bit);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("incr", true).unwrap();
+        sim.set_input("reset", false).unwrap();
+        sim.clock();
+        sim.clock();
+        sim.set_input("incr", false).unwrap();
+        sim.clock();
+        sim.clock();
+        assert_eq!(sim.output_word("c", 3).unwrap().to_u64(), 2);
+    }
+
+    #[test]
+    fn match_latch_holds_until_clear() {
+        let mut n = Netlist::new("t");
+        let set = n.input("set");
+        let clear = n.input("clear");
+        let m = match_latch(&mut n, set, clear);
+        n.output("m", m);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("set", false).unwrap();
+        sim.set_input("clear", false).unwrap();
+        sim.settle();
+        assert!(!sim.output("m").unwrap());
+        sim.set_input("set", true).unwrap();
+        sim.settle();
+        assert!(sim.output("m").unwrap(), "combinational set visible same cycle");
+        sim.clock();
+        sim.set_input("set", false).unwrap();
+        sim.settle();
+        assert!(sim.output("m").unwrap(), "latched");
+        sim.set_input("clear", true).unwrap();
+        sim.clock();
+        sim.set_input("clear", false).unwrap();
+        sim.settle();
+        assert!(!sim.output("m").unwrap(), "cleared at record boundary");
+    }
+
+    #[test]
+    fn word_comparators_exhaustive() {
+        let mut n = Netlist::new("t");
+        let a = n.input_word("a", 4);
+        let b = n.input_word("b", 4);
+        let eq = eq_word(&mut n, &a, &b);
+        let le = le_word(&mut n, &a, &b);
+        n.output("eq", eq);
+        n.output("le", le);
+        let mut sim = Simulator::new(&n).unwrap();
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                sim.set_input_word("a", &BitVec::from_u64(va, 4)).unwrap();
+                sim.set_input_word("b", &BitVec::from_u64(vb, 4)).unwrap();
+                sim.settle();
+                assert_eq!(sim.output("eq").unwrap(), va == vb, "{va} == {vb}");
+                assert_eq!(sim.output("le").unwrap(), va <= vb, "{va} <= {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn inc_dec_words() {
+        let mut n = Netlist::new("t");
+        let a = n.input_word("a", 3);
+        let inc = inc_word(&mut n, &a);
+        let dec = dec_word_saturate(&mut n, &a);
+        for (i, &bit) in inc.iter().enumerate() {
+            n.output(format!("inc[{i}]"), bit);
+        }
+        for (i, &bit) in dec.iter().enumerate() {
+            n.output(format!("dec[{i}]"), bit);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        for v in 0..8u64 {
+            sim.set_input_word("a", &BitVec::from_u64(v, 3)).unwrap();
+            sim.settle();
+            assert_eq!(sim.output_word("inc", 3).unwrap().to_u64(), (v + 1) % 8);
+            assert_eq!(
+                sim.output_word("dec", 3).unwrap().to_u64(),
+                v.saturating_sub(1)
+            );
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut n = Netlist::new("t");
+        let s = n.input("s");
+        let a = n.input_word("a", 3);
+        let b = n.input_word("b", 3);
+        let m = mux_word(&mut n, s, &a, &b);
+        for (i, &bit) in m.iter().enumerate() {
+            n.output(format!("m[{i}]"), bit);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input_word("a", &BitVec::from_u64(5, 3)).unwrap();
+        sim.set_input_word("b", &BitVec::from_u64(2, 3)).unwrap();
+        sim.set_input("s", true).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_word("m", 3).unwrap().to_u64(), 5);
+        sim.set_input("s", false).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_word("m", 3).unwrap().to_u64(), 2);
+    }
+
+    #[test]
+    fn bits_for_extremes() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

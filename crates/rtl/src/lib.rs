@@ -1,0 +1,120 @@
+//! # rfjson-rtl — gate/register-level hardware substrate
+//!
+//! This crate models the hardware layer of the paper *"Raw Filtering of JSON
+//! Data on FPGAs"* (DATE 2022). Filter primitives are not merely described;
+//! they are **elaborated into a netlist** of Boolean gates and D flip-flops
+//! and can be simulated **cycle-accurately**, one input byte per clock cycle,
+//! exactly like the paper's streaming pipeline.
+//!
+//! The crate provides:
+//!
+//! * [`netlist::Netlist`] — a flat, hierarchical-name-aware IR of gates
+//!   (`AND`/`OR`/`XOR`/`NOT`/`MUX`/constants), D flip-flops with synchronous
+//!   reset/enable, primary inputs and named outputs.
+//! * [`sim::Simulator`] — a two-phase (combinational settle, then clock edge)
+//!   bit-true simulator with combinational-cycle detection.
+//! * [`components`] — word-level generator library (byte buffers, constant
+//!   comparators, range comparators, saturating counters, OR-trees, FSM
+//!   next-state logic) shared by every filter primitive in `rfjson-core`.
+//! * [`bitvec::BitVec`] — a small arbitrary-width bit vector used at the
+//!   simulator boundary.
+//!
+//! # Example
+//!
+//! Build a 2-gate netlist and simulate it:
+//!
+//! ```
+//! use rfjson_rtl::netlist::Netlist;
+//! use rfjson_rtl::sim::Simulator;
+//!
+//! # fn main() -> Result<(), rfjson_rtl::RtlError> {
+//! let mut n = Netlist::new("toy");
+//! let a = n.input("a");
+//! let b = n.input("b");
+//! let y = n.and(a, b);
+//! n.output("y", y);
+//!
+//! let mut sim = Simulator::new(&n)?;
+//! sim.set_input("a", true)?;
+//! sim.set_input("b", true)?;
+//! sim.settle();
+//! assert!(sim.output("y")?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod components;
+pub mod netlist;
+pub mod sim;
+pub mod stats;
+pub mod verilog;
+
+pub use bitvec::BitVec;
+pub use netlist::{Netlist, NodeId};
+pub use sim::Simulator;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A flip-flop was created with [`Netlist::dff_placeholder`] but its data
+    /// input was never connected.
+    UnconnectedDff {
+        /// The dangling flip-flop.
+        node: NodeId,
+    },
+    /// An input name was not found in the netlist.
+    UnknownInput {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An output name was not found in the netlist.
+    UnknownOutput {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Word-level helper was called with mismatched operand widths.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A constant does not fit into the requested width.
+    ConstTooWide {
+        /// The constant value.
+        value: u64,
+        /// The requested width in bits.
+        width: usize,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnconnectedDff { node } => {
+                write!(f, "flip-flop {node} has no data input connected")
+            }
+            RtlError::UnknownInput { name } => write!(f, "unknown input `{name}`"),
+            RtlError::UnknownOutput { name } => write!(f, "unknown output `{name}`"),
+            RtlError::WidthMismatch { left, right } => {
+                write!(f, "operand widths differ: {left} vs {right}")
+            }
+            RtlError::ConstTooWide { value, width } => {
+                write!(f, "constant {value} does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RtlError>;

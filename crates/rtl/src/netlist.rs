@@ -1,0 +1,604 @@
+//! Netlist intermediate representation.
+//!
+//! A [`Netlist`] is a flat graph of Boolean [`Node`]s: primary inputs,
+//! constants, gates, and D flip-flops. Gates are structural (no logic
+//! optimisation happens here); `rfjson-techmap` consumes the same graph for
+//! LUT mapping, and [`crate::sim::Simulator`] executes it cycle-accurately.
+//!
+//! Flip-flops may be created before their data input exists (FSM next-state
+//! logic needs the state bits first) via [`Netlist::dff_placeholder`] +
+//! [`Netlist::connect_dff`].
+
+use crate::RtlError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the netlist node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single netlist node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Primary input bit (driven by the testbench / stream source).
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// Constant `false`/`true`.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+    /// 2:1 multiplexer: `sel ? t : f`.
+    Mux {
+        /// Select input.
+        sel: NodeId,
+        /// Output when `sel` is high.
+        t: NodeId,
+        /// Output when `sel` is low.
+        f: NodeId,
+    },
+    /// D flip-flop, clocked once per byte; `None` data = unconnected
+    /// placeholder (an error at simulation/mapping time).
+    Dff {
+        /// Data input (next value), `None` until connected.
+        d: Option<NodeId>,
+        /// Power-on / reset value.
+        init: bool,
+    },
+}
+
+impl Node {
+    /// Returns the combinational fan-in of this node (flip-flop data inputs
+    /// are *sequential* edges and excluded).
+    pub fn comb_fanin(&self) -> Vec<NodeId> {
+        match self {
+            Node::Input { .. } | Node::Const(_) | Node::Dff { .. } => Vec::new(),
+            Node::Not(a) => vec![*a],
+            Node::And(a, b) | Node::Or(a, b) | Node::Xor(a, b) => vec![*a, *b],
+            Node::Mux { sel, t, f } => vec![*sel, *t, *f],
+        }
+    }
+
+    /// Is this node a gate (counted as combinational logic)?
+    pub fn is_gate(&self) -> bool {
+        matches!(
+            self,
+            Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..) | Node::Mux { .. }
+        )
+    }
+}
+
+/// A flat netlist: the circuit-level form of one raw filter (or any other
+/// streaming block).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_rtl::netlist::Netlist;
+///
+/// let mut n = Netlist::new("edge_detect");
+/// let x = n.input("x");
+/// let prev = n.dff(x, false);
+/// let not_prev = n.not(prev);
+/// let rising = n.and_gate(x, not_prev);
+/// n.output("rising", rising);
+/// assert_eq!(n.num_dffs(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<(String, NodeId)>,
+    outputs: Vec<(String, NodeId)>,
+    input_index: HashMap<String, NodeId>,
+    const_false: Option<NodeId>,
+    const_true: Option<NodeId>,
+    /// Structural hashing: gate shape -> existing node. Keeps the graph
+    /// free of duplicate gates, which both the simulator and the LUT mapper
+    /// benefit from (and which synthesis tools do implicitly).
+    gate_cache: HashMap<GateKey, NodeId>,
+}
+
+/// Canonical key for structural gate hashing (commutative inputs sorted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    Not(NodeId),
+    And(NodeId, NodeId),
+    Or(NodeId, NodeId),
+    Xor(NodeId, NodeId),
+    Mux(NodeId, NodeId, NodeId),
+}
+
+fn sorted(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a block `name` (used in dumps).
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            input_index: HashMap::new(),
+            const_false: None,
+            const_true: None,
+            gate_cache: HashMap::new(),
+        }
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Pushes a gate through the structural-hashing cache.
+    fn push_gate(&mut self, key: GateKey) -> NodeId {
+        if let Some(&id) = self.gate_cache.get(&key) {
+            return id;
+        }
+        let node = match key {
+            GateKey::Not(a) => Node::Not(a),
+            GateKey::And(a, b) => Node::And(a, b),
+            GateKey::Or(a, b) => Node::Or(a, b),
+            GateKey::Xor(a, b) => Node::Xor(a, b),
+            GateKey::Mux(sel, t, f) => Node::Mux { sel, t, f },
+        };
+        let id = self.push(node);
+        self.gate_cache.insert(key, id);
+        id
+    }
+
+    /// Adds a named primary input bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input with the same name already exists.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.input_index.contains_key(&name),
+            "duplicate input `{name}`"
+        );
+        let id = self.push(Node::Input { name: name.clone() });
+        self.inputs.push((name.clone(), id));
+        self.input_index.insert(name, id);
+        id
+    }
+
+    /// Adds a `width`-bit little-endian input word named `name[0..width]`.
+    pub fn input_word(&mut self, name: &str, width: usize) -> Vec<NodeId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Registers `bit` as a named output.
+    pub fn output(&mut self, name: impl Into<String>, bit: NodeId) {
+        self.outputs.push((name.into(), bit));
+    }
+
+    /// Constant node (hash-consed: one per polarity).
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        let slot = if value {
+            &mut self.const_true
+        } else {
+            &mut self.const_false
+        };
+        if let Some(id) = *slot {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(Node::Const(value));
+        if value {
+            self.const_true = Some(id);
+        } else {
+            self.const_false = Some(id);
+        }
+        id
+    }
+
+    /// Inverter. Folds constants and double negation.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match self.nodes[a.index()] {
+            Node::Const(v) => self.constant(!v),
+            Node::Not(inner) => inner,
+            _ => self.push_gate(GateKey::Not(a)),
+        }
+    }
+
+    /// 2-input AND with constant folding.
+    pub fn and_gate(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => self.constant(false),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ => {
+                let (a, b) = sorted(a, b);
+                self.push_gate(GateKey::And(a, b))
+            }
+        }
+    }
+
+    /// Alias for [`Netlist::and_gate`], reads better in expression builders.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.and_gate(a, b)
+    }
+
+    /// 2-input OR with constant folding.
+    pub fn or_gate(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(true), _) | (_, Some(true)) => self.constant(true),
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            _ if a == b => a,
+            _ => {
+                let (a, b) = sorted(a, b);
+                self.push_gate(GateKey::Or(a, b))
+            }
+        }
+    }
+
+    /// Alias for [`Netlist::or_gate`].
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.or_gate(a, b)
+    }
+
+    /// 2-input XOR with constant folding.
+    pub fn xor_gate(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => self.not(b),
+            (_, Some(true)) => self.not(a),
+            _ if a == b => self.constant(false),
+            _ => {
+                let (a, b) = sorted(a, b);
+                self.push_gate(GateKey::Xor(a, b))
+            }
+        }
+    }
+
+    /// Alias for [`Netlist::xor_gate`].
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.xor_gate(a, b)
+    }
+
+    /// 2:1 mux `sel ? t : f` with constant folding.
+    pub fn mux(&mut self, sel: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        match self.as_const(sel) {
+            Some(true) => t,
+            Some(false) => f,
+            None if t == f => t,
+            None => match (self.as_const(t), self.as_const(f)) {
+                (Some(true), Some(false)) => sel,
+                (Some(false), Some(true)) => self.not(sel),
+                (Some(true), None) => self.or_gate(sel, f),
+                (Some(false), None) => {
+                    let ns = self.not(sel);
+                    self.and_gate(ns, f)
+                }
+                (None, Some(false)) => self.and_gate(sel, t),
+                (None, Some(true)) => {
+                    let ns = self.not(sel);
+                    self.or_gate(ns, t)
+                }
+                _ => self.push_gate(GateKey::Mux(sel, t, f)),
+            },
+        }
+    }
+
+    /// D flip-flop with connected data input and power-on value `init`.
+    pub fn dff(&mut self, d: NodeId, init: bool) -> NodeId {
+        self.push(Node::Dff { d: Some(d), init })
+    }
+
+    /// D flip-flop whose data input will be connected later with
+    /// [`Netlist::connect_dff`] (needed for feedback, e.g. FSM state).
+    pub fn dff_placeholder(&mut self, init: bool) -> NodeId {
+        self.push(Node::Dff { d: None, init })
+    }
+
+    /// Connects the data input of a placeholder flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is not a flip-flop or is already connected.
+    pub fn connect_dff(&mut self, ff: NodeId, d: NodeId) {
+        match &mut self.nodes[ff.index()] {
+            Node::Dff { d: slot @ None, .. } => *slot = Some(d),
+            Node::Dff { d: Some(_), .. } => panic!("flip-flop {ff} already connected"),
+            _ => panic!("{ff} is not a flip-flop"),
+        }
+    }
+
+    /// Returns the constant value of a node if it is a constant.
+    pub fn as_const(&self, id: NodeId) -> Option<bool> {
+        match self.nodes[id.index()] {
+            Node::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Node table accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in creation order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Number of nodes (all kinds).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Declared primary inputs in declaration order.
+    pub fn inputs(&self) -> &[(String, NodeId)] {
+        &self.inputs
+    }
+
+    /// Declared outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Looks up an input bit by name.
+    pub fn find_input(&self, name: &str) -> Option<NodeId> {
+        self.input_index.get(name).copied()
+    }
+
+    /// Looks up an output bit by name.
+    pub fn find_output(&self, name: &str) -> Option<NodeId> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+    }
+
+    /// Number of gate nodes (AND/OR/XOR/NOT/MUX).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_gate()).count()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Dff { .. }))
+            .count()
+    }
+
+    /// Checks that every flip-flop has a data input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnconnectedDff`] naming the first dangling
+    /// flip-flop.
+    pub fn check_connected(&self) -> crate::Result<()> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::Dff { d: None, .. } = n {
+                return Err(RtlError::UnconnectedDff { node: NodeId(i as u32) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a human-readable structural dump (used by the Fig. 1
+    /// regeneration binary).
+    pub fn dump(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "module {} {{", self.name);
+        for (name, id) in &self.inputs {
+            let _ = writeln!(s, "  input  {name} -> {id}");
+        }
+        for (id, node) in self.nodes() {
+            match node {
+                Node::Input { .. } => {}
+                Node::Const(v) => {
+                    let _ = writeln!(s, "  {id} = const {}", u8::from(*v));
+                }
+                Node::Not(a) => {
+                    let _ = writeln!(s, "  {id} = not {a}");
+                }
+                Node::And(a, b) => {
+                    let _ = writeln!(s, "  {id} = and {a} {b}");
+                }
+                Node::Or(a, b) => {
+                    let _ = writeln!(s, "  {id} = or {a} {b}");
+                }
+                Node::Xor(a, b) => {
+                    let _ = writeln!(s, "  {id} = xor {a} {b}");
+                }
+                Node::Mux { sel, t, f } => {
+                    let _ = writeln!(s, "  {id} = mux {sel} ? {t} : {f}");
+                }
+                Node::Dff { d, init } => {
+                    let d = d.map_or_else(|| "<unconnected>".to_string(), |d| d.to_string());
+                    let _ = writeln!(s, "  {id} = dff d={d} init={}", u8::from(*init));
+                }
+            }
+        }
+        for (name, id) in &self.outputs {
+            let _ = writeln!(s, "  output {name} <- {id}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist `{}`: {} gates, {} FFs, {} inputs, {} outputs",
+            self.name,
+            self.num_gates(),
+            self.num_dffs(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_and() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let f = n.constant(false);
+        let t = n.constant(true);
+        assert_eq!(n.and_gate(a, f), f);
+        assert_eq!(n.and_gate(t, a), a);
+        assert_eq!(n.and_gate(a, a), a);
+        assert_eq!(n.num_gates(), 0);
+    }
+
+    #[test]
+    fn constant_folding_or_xor_not() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let f = n.constant(false);
+        let t = n.constant(true);
+        assert_eq!(n.or_gate(a, t), t);
+        assert_eq!(n.or_gate(f, a), a);
+        assert_eq!(n.xor_gate(a, f), a);
+        let na = n.not(a);
+        assert_eq!(n.xor_gate(a, t), na);
+        assert_eq!(n.not(na), a);
+        assert_eq!(n.xor_gate(a, a), f);
+    }
+
+    #[test]
+    fn mux_folding() {
+        let mut n = Netlist::new("t");
+        let s = n.input("s");
+        let a = n.input("a");
+        let b = n.input("b");
+        let t = n.constant(true);
+        let f = n.constant(false);
+        assert_eq!(n.mux(t, a, b), a);
+        assert_eq!(n.mux(f, a, b), b);
+        assert_eq!(n.mux(s, a, a), a);
+        assert_eq!(n.mux(s, t, f), s);
+        // sel ? 0 : 1  == !sel
+        let ns = n.not(s);
+        assert_eq!(n.mux(s, f, t), ns);
+    }
+
+    #[test]
+    fn constants_are_hash_consed() {
+        let mut n = Netlist::new("t");
+        let t1 = n.constant(true);
+        let t2 = n.constant(true);
+        let f1 = n.constant(false);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, f1);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input")]
+    fn duplicate_input_panics() {
+        let mut n = Netlist::new("t");
+        n.input("a");
+        n.input("a");
+    }
+
+    #[test]
+    fn placeholder_dff_lifecycle() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_placeholder(false);
+        assert!(matches!(
+            n.check_connected(),
+            Err(RtlError::UnconnectedDff { .. })
+        ));
+        let nf = n.not(ff);
+        n.connect_dff(ff, nf);
+        assert!(n.check_connected().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut n = Netlist::new("t");
+        let x = n.input("x");
+        let ff = n.dff_placeholder(false);
+        n.connect_dff(ff, x);
+        n.connect_dff(ff, x);
+    }
+
+    #[test]
+    fn input_word_names() {
+        let mut n = Netlist::new("t");
+        let w = n.input_word("byte", 8);
+        assert_eq!(w.len(), 8);
+        assert_eq!(n.find_input("byte[0]"), Some(w[0]));
+        assert_eq!(n.find_input("byte[7]"), Some(w[7]));
+        assert_eq!(n.find_input("byte[8]"), None);
+    }
+
+    #[test]
+    fn dump_contains_structure() {
+        let mut n = Netlist::new("blk");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and_gate(a, b);
+        n.output("y", y);
+        let d = n.dump();
+        assert!(d.contains("module blk"));
+        assert!(d.contains("and"));
+        assert!(d.contains("output y"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut n = Netlist::new("blk");
+        let a = n.input("a");
+        let q = n.dff(a, false);
+        n.output("q", q);
+        let s = n.to_string();
+        assert!(s.contains("blk") && s.contains("1 FFs"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Cycle-accurate two-phase netlist simulation.
+//!
+//! [`Simulator`] executes a [`Netlist`] the way a synchronous FPGA design
+//! runs: per clock cycle, primary inputs are driven, combinational logic
+//! settles (evaluated once, in topological order), outputs are observable,
+//! and on [`Simulator::clock`] every flip-flop latches its data input
+//! simultaneously.
+//!
+//! The raw-filter pipelines of the paper consume **one byte per cycle**;
+//! [`Simulator::stream_bytes`] drives an 8-bit input port from a byte slice
+//! and samples a match output every cycle, which is how the co-simulation
+//! tests check netlists against the software models bit-for-bit.
+
+use crate::netlist::{Netlist, Node, NodeId};
+use crate::{BitVec, Result, RtlError};
+
+/// Bit-true simulator over a levelized netlist.
+///
+/// # Example
+///
+/// A 1-bit toggle register:
+///
+/// ```
+/// use rfjson_rtl::{Netlist, Simulator};
+///
+/// # fn main() -> Result<(), rfjson_rtl::RtlError> {
+/// let mut n = Netlist::new("toggle");
+/// let ff = n.dff_placeholder(false);
+/// let next = n.not(ff);
+/// n.connect_dff(ff, next);
+/// n.output("q", ff);
+///
+/// let mut sim = Simulator::new(&n)?;
+/// sim.settle();
+/// assert!(!sim.output("q")?);
+/// sim.clock();
+/// assert!(sim.output("q")?);
+/// sim.clock();
+/// assert!(!sim.output("q")?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    /// Current value of every node.
+    values: Vec<bool>,
+    /// Evaluation order of combinational nodes (gate ids only).
+    topo: Vec<NodeId>,
+    /// Flip-flop ids with their data inputs, for the clock edge.
+    dffs: Vec<(NodeId, NodeId, bool)>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Builds a simulator, levelizing the netlist.
+    ///
+    /// Combinational cycles cannot occur: gates only reference nodes that
+    /// already exist, so creation order is a valid topological order, and
+    /// sequential feedback must go through [`Netlist::dff_placeholder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnconnectedDff`] if a placeholder flip-flop was
+    /// never connected.
+    pub fn new(netlist: &'n Netlist) -> Result<Self> {
+        netlist.check_connected()?;
+        let topo = levelize(netlist);
+        let mut values = vec![false; netlist.len()];
+        let mut dffs = Vec::new();
+        for (id, node) in netlist.nodes() {
+            match node {
+                Node::Const(v) => values[id.index()] = *v,
+                Node::Dff { d: Some(d), init } => {
+                    values[id.index()] = *init;
+                    dffs.push((id, *d, *init));
+                }
+                _ => {}
+            }
+        }
+        let mut sim = Simulator {
+            netlist,
+            values,
+            topo,
+            dffs,
+        };
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Drives a single-bit primary input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownInput`] for an unknown name.
+    pub fn set_input(&mut self, name: &str, value: bool) -> Result<()> {
+        let id = self
+            .netlist
+            .find_input(name)
+            .ok_or_else(|| RtlError::UnknownInput { name: name.into() })?;
+        self.values[id.index()] = value;
+        Ok(())
+    }
+
+    /// Drives the little-endian word input `name[i]` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownInput`] if any bit of the word is missing.
+    pub fn set_input_word(&mut self, name: &str, value: &BitVec) -> Result<()> {
+        for i in 0..value.width() {
+            self.set_input(&format!("{name}[{i}]"), value.get(i))?;
+        }
+        Ok(())
+    }
+
+    /// Drives input bits directly by node id (fast path for streaming).
+    pub fn set_input_id(&mut self, id: NodeId, value: bool) {
+        self.values[id.index()] = value;
+    }
+
+    /// Re-evaluates all combinational logic in topological order.
+    pub fn settle(&mut self) {
+        for &id in &self.topo {
+            let v = match self.netlist.node(id) {
+                Node::Not(a) => !self.values[a.index()],
+                Node::And(a, b) => self.values[a.index()] && self.values[b.index()],
+                Node::Or(a, b) => self.values[a.index()] || self.values[b.index()],
+                Node::Xor(a, b) => self.values[a.index()] ^ self.values[b.index()],
+                Node::Mux { sel, t, f } => {
+                    if self.values[sel.index()] {
+                        self.values[t.index()]
+                    } else {
+                        self.values[f.index()]
+                    }
+                }
+                _ => unreachable!("topo order contains only gates"),
+            };
+            self.values[id.index()] = v;
+        }
+    }
+
+    /// Rising clock edge: combinational logic settles against the current
+    /// inputs, every flip-flop latches its data input simultaneously, and
+    /// logic re-settles against the new state.
+    pub fn clock(&mut self) {
+        // Phase 0: make sure D inputs reflect the latest primary inputs.
+        self.settle();
+        // Phase 1: sample all D inputs simultaneously.
+        let sampled: Vec<bool> = self
+            .dffs
+            .iter()
+            .map(|&(_, d, _)| self.values[d.index()])
+            .collect();
+        // Phase 2: update all Q outputs.
+        for (&(q, _, _), &v) in self.dffs.iter().zip(&sampled) {
+            self.values[q.index()] = v;
+        }
+        self.settle();
+    }
+
+    /// Synchronous reset: every flip-flop returns to its `init` value.
+    pub fn reset(&mut self) {
+        for &(q, _, init) in &self.dffs {
+            self.values[q.index()] = init;
+        }
+        self.settle();
+    }
+
+    /// Reads a named output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownOutput`] for an unknown name.
+    pub fn output(&self, name: &str) -> Result<bool> {
+        let id = self
+            .netlist
+            .find_output(name)
+            .ok_or_else(|| RtlError::UnknownOutput { name: name.into() })?;
+        Ok(self.values[id.index()])
+    }
+
+    /// Reads an output word `name[i]`, width bits wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownOutput`] if any bit is missing.
+    pub fn output_word(&self, name: &str, width: usize) -> Result<BitVec> {
+        let mut v = BitVec::zeros(width);
+        for i in 0..width {
+            v.set(i, self.output(&format!("{name}[{i}]"))?);
+        }
+        Ok(v)
+    }
+
+    /// Reads the current value of an arbitrary node.
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Streams `bytes` through an 8-bit input port (one byte per cycle) and
+    /// returns the value of `watch` sampled *after settling, before the
+    /// clock edge* of each cycle — matching the paper's per-cycle match
+    /// signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownInput`]/[`RtlError::UnknownOutput`] if the
+    /// named ports do not exist.
+    pub fn stream_bytes(&mut self, port: &str, bytes: &[u8], watch: &str) -> Result<Vec<bool>> {
+        let bits: Vec<NodeId> = (0..8)
+            .map(|i| {
+                self.netlist
+                    .find_input(&format!("{port}[{i}]"))
+                    .ok_or_else(|| RtlError::UnknownInput {
+                        name: format!("{port}[{i}]"),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let watch_id = self
+            .netlist
+            .find_output(watch)
+            .ok_or_else(|| RtlError::UnknownOutput { name: watch.into() })?;
+        let mut out = Vec::with_capacity(bytes.len());
+        for &b in bytes {
+            for (i, &bit) in bits.iter().enumerate() {
+                self.values[bit.index()] = (b >> i) & 1 == 1;
+            }
+            self.settle();
+            out.push(self.values[watch_id.index()]);
+            self.clock();
+        }
+        Ok(out)
+    }
+}
+
+/// Gate nodes in creation order. Because a gate can only reference nodes
+/// created before it, creation order is a topological order of the
+/// combinational graph (sequential feedback always crosses a flip-flop).
+fn levelize(netlist: &Netlist) -> Vec<NodeId> {
+    netlist
+        .nodes()
+        .filter(|(_, n)| n.is_gate())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comb_logic_settles() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor_gate(a, b);
+        n.output("x", x);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.set_input("a", va).unwrap();
+            sim.set_input("b", vb).unwrap();
+            sim.settle();
+            assert_eq!(sim.output("x").unwrap(), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn unknown_ports_are_errors() {
+        let n = Netlist::new("t");
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(matches!(
+            sim.set_input("nope", true),
+            Err(RtlError::UnknownInput { .. })
+        ));
+        assert!(matches!(
+            sim.output("nope"),
+            Err(RtlError::UnknownOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_latches_on_clock_only() {
+        let mut n = Netlist::new("t");
+        let d = n.input("d");
+        let q = n.dff(d, false);
+        n.output("q", q);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("d", true).unwrap();
+        sim.settle();
+        assert!(!sim.output("q").unwrap(), "q must not change before edge");
+        sim.clock();
+        assert!(sim.output("q").unwrap());
+        sim.set_input("d", false).unwrap();
+        sim.clock();
+        assert!(!sim.output("q").unwrap());
+    }
+
+    #[test]
+    fn shift_register_delays_by_n() {
+        let mut n = Netlist::new("t");
+        let d = n.input("d");
+        let q1 = n.dff(d, false);
+        let q2 = n.dff(q1, false);
+        let q3 = n.dff(q2, false);
+        n.output("q", q3);
+        let mut sim = Simulator::new(&n).unwrap();
+        let pattern = [true, false, true, true, false, false, true, false];
+        let mut seen = Vec::new();
+        for &p in &pattern {
+            sim.set_input("d", p).unwrap();
+            sim.settle();
+            seen.push(sim.output("q").unwrap());
+            sim.clock();
+        }
+        // Output is the input delayed by 3 cycles, zero-filled.
+        let expect: Vec<bool> = [false, false, false]
+            .iter()
+            .chain(pattern.iter().take(5))
+            .copied()
+            .collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn dff_feedback_is_legal() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_placeholder(false);
+        let nf = n.not(ff);
+        n.connect_dff(ff, nf);
+        n.output("q", ff);
+        assert!(Simulator::new(&n).is_ok(), "dff feedback is legal");
+    }
+
+    #[test]
+    fn unconnected_dff_rejected() {
+        let mut n = Netlist::new("t");
+        let _ff = n.dff_placeholder(false);
+        assert!(matches!(
+            Simulator::new(&n),
+            Err(RtlError::UnconnectedDff { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_restores_init() {
+        let mut n = Netlist::new("t");
+        let d = n.input("d");
+        let q = n.dff(d, true);
+        n.output("q", q);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(sim.output("q").unwrap());
+        sim.set_input("d", false).unwrap();
+        sim.clock();
+        assert!(!sim.output("q").unwrap());
+        sim.reset();
+        assert!(sim.output("q").unwrap());
+    }
+
+    #[test]
+    fn toggle_via_placeholder_feedback() {
+        let mut n = Netlist::new("t");
+        let ff = n.dff_placeholder(false);
+        let next = n.not(ff);
+        n.connect_dff(ff, next);
+        n.output("q", ff);
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            seq.push(sim.output("q").unwrap());
+            sim.clock();
+        }
+        assert_eq!(seq, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn word_io_round_trip() {
+        let mut n = Netlist::new("t");
+        let w = n.input_word("x", 4);
+        for (i, bit) in w.iter().enumerate() {
+            let inv = n.not(*bit);
+            n.output(format!("y[{i}]"), inv);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input_word("x", &BitVec::from_u64(0b0101, 4)).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_word("y", 4).unwrap().to_u64(), 0b1010);
+    }
+
+    #[test]
+    fn stream_bytes_matches_manual_drive() {
+        // match exactly the byte 'A' (0x41)
+        let mut n = Netlist::new("t");
+        let byte = n.input_word("byte", 8);
+        let mut acc = n.constant(true);
+        for (i, b) in byte.iter().enumerate() {
+            let want = (0x41u8 >> i) & 1 == 1;
+            let term = if want { *b } else { n.not(*b) };
+            acc = n.and_gate(acc, term);
+        }
+        n.output("m", acc);
+        let mut sim = Simulator::new(&n).unwrap();
+        let out = sim.stream_bytes("byte", b"BANANA", "m").unwrap();
+        assert_eq!(out, vec![false, true, false, true, false, true]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structural netlist statistics (gate histogram, logic depth).
+//!
+//! These are raw, pre-mapping numbers; LUT counts — the resource metric the
+//! paper reports — come from `rfjson-techmap`, which consumes the same
+//! netlist.
+
+use crate::netlist::{Netlist, Node};
+use std::fmt;
+
+/// Structural statistics of a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use rfjson_rtl::{Netlist, stats::NetlistStats};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let y = n.and(a, b);
+/// let q = n.dff(y, false);
+/// n.output("q", q);
+/// let s = NetlistStats::of(&n);
+/// assert_eq!(s.and_gates, 1);
+/// assert_eq!(s.dffs, 1);
+/// assert_eq!(s.depth, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary input bits.
+    pub inputs: usize,
+    /// Declared output bits.
+    pub outputs: usize,
+    /// AND gates.
+    pub and_gates: usize,
+    /// OR gates.
+    pub or_gates: usize,
+    /// XOR gates.
+    pub xor_gates: usize,
+    /// Inverters.
+    pub not_gates: usize,
+    /// 2:1 muxes.
+    pub muxes: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Longest combinational path in gate levels.
+    pub depth: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            ..Default::default()
+        };
+        // Depth: creation order is topological for gates.
+        let mut level = vec![0usize; netlist.len()];
+        for (id, node) in netlist.nodes() {
+            match node {
+                Node::And(..) => s.and_gates += 1,
+                Node::Or(..) => s.or_gates += 1,
+                Node::Xor(..) => s.xor_gates += 1,
+                Node::Not(_) => s.not_gates += 1,
+                Node::Mux { .. } => s.muxes += 1,
+                Node::Dff { .. } => s.dffs += 1,
+                _ => {}
+            }
+            if node.is_gate() {
+                let l = node
+                    .comb_fanin()
+                    .iter()
+                    .map(|f| level[f.index()])
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                level[id.index()] = l;
+                s.depth = s.depth.max(l);
+            }
+        }
+        s
+    }
+
+    /// Total gate count (all combinational node kinds).
+    pub fn total_gates(&self) -> usize {
+        self.and_gates + self.or_gates + self.xor_gates + self.not_gates + self.muxes
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates (and={} or={} xor={} not={} mux={}), {} FFs, depth {}",
+            self.total_gates(),
+            self.and_gates,
+            self.or_gates,
+            self.xor_gates,
+            self.not_gates,
+            self.muxes,
+            self.dffs,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and(a, b);
+        let y = n.or(a, b);
+        let z = n.xor(x, y);
+        let w = n.not(z);
+        let m = n.mux(a, w, z);
+        let q = n.dff(m, false);
+        n.output("q", q);
+        let s = NetlistStats::of(&n);
+        assert_eq!(
+            (s.and_gates, s.or_gates, s.xor_gates, s.not_gates, s.muxes, s.dffs),
+            (1, 1, 1, 1, 1, 1)
+        );
+        assert_eq!(s.total_gates(), 5);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+    }
+
+    #[test]
+    fn depth_is_longest_path() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let g1 = n.and(a, b);
+        let g2 = n.and(g1, b);
+        let g3 = n.and(g2, a);
+        n.output("y", g3);
+        assert_eq!(NetlistStats::of(&n).depth, 3);
+    }
+
+    #[test]
+    fn dff_cuts_depth() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let g1 = n.and(a, b);
+        let q = n.dff(g1, false);
+        let g2 = n.and(q, b);
+        n.output("y", g2);
+        assert_eq!(NetlistStats::of(&n).depth, 1, "register breaks the path");
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = NetlistStats {
+            and_gates: 2,
+            dffs: 3,
+            depth: 4,
+            ..Default::default()
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("2 gates") && txt.contains("3 FFs") && txt.contains("depth 4"));
+    }
+}

@@ -1,0 +1,404 @@
+//! And-Inverter Graphs.
+//!
+//! An [`Aig`] is the canonical logic-synthesis representation: every node is
+//! a 2-input AND, inversion lives on edges ([`Lit`]). The conversion from an
+//! [`rfjson_rtl::Netlist`] treats flip-flop outputs as extra primary inputs
+//! and flip-flop data pins as extra outputs, so the AIG covers exactly the
+//! combinational cones between registers — the logic that occupies LUTs.
+
+use rfjson_rtl::netlist::{Netlist, Node};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An edge literal: node variable plus optional inversion.
+///
+/// `Lit(0)` is constant false, `Lit(1)` constant true (node 0 is the
+/// reserved constant node, as in the AIGER format).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node variable and polarity.
+    pub fn new(var: u32, inverted: bool) -> Self {
+        Lit(var << 1 | u32::from(inverted))
+    }
+
+    /// The node variable this literal points at.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is inverting.
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// True if this is one of the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.var() == 0
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inverted() {
+            write!(f, "!v{}", self.var())
+        } else {
+            write!(f, "v{}", self.var())
+        }
+    }
+}
+
+/// AIG node kinds. Node 0 is always the constant-false node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigNode {
+    /// Reserved constant node (variable 0).
+    Const,
+    /// Primary input (original netlist input or a flip-flop output).
+    Input {
+        /// Diagnostic name.
+        name: String,
+    },
+    /// Two-input AND of literals.
+    And(Lit, Lit),
+}
+
+/// An And-Inverter Graph with structural hashing.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_techmap::aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let y = g.xor(a, b);
+/// g.add_output("y", y);
+/// assert_eq!(g.eval(&[true, false])[0], true);
+/// assert_eq!(g.num_ands(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    outputs: Vec<(String, Lit)>,
+    strash: HashMap<(Lit, Lit), u32>,
+    num_inputs: usize,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::Const],
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Adds a primary input and returns its positive literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        let var = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Input { name: name.into() });
+        self.num_inputs += 1;
+        Lit::new(var, false)
+    }
+
+    /// Registers `lit` as a named output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// AND of two literals with constant folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Order operands for canonical hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        if let Some(&var) = self.strash.get(&(a, b)) {
+            return Lit::new(var, false);
+        }
+        let var = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), var);
+        Lit::new(var, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR as `(a & !b) | (!a & b)` (3 AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let l = self.and(a, b.not());
+        let r = self.and(a.not(), b);
+        self.or(l, r)
+    }
+
+    /// Multiplexer `s ? t : f` (3 AND nodes).
+    pub fn mux(&mut self, s: Lit, t: Lit, f: Lit) -> Lit {
+        let hi = self.and(s, t);
+        let lo = self.and(s.not(), f);
+        self.or(hi, lo)
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(..)))
+            .count()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Node table (index = variable).
+    pub fn nodes(&self) -> &[AigNode] {
+        &self.nodes
+    }
+
+    /// Declared outputs.
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Evaluates all outputs for an input assignment given in input-creation
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Aig::num_inputs`].
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut val = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            val[i] = match node {
+                AigNode::Const => false,
+                AigNode::Input { .. } => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                AigNode::And(a, b) => {
+                    let va = val[a.var() as usize] ^ a.is_inverted();
+                    let vb = val[b.var() as usize] ^ b.is_inverted();
+                    va && vb
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| val[l.var() as usize] ^ l.is_inverted())
+            .collect()
+    }
+
+    /// Converts a netlist into an AIG.
+    ///
+    /// Flip-flop Q pins become AIG inputs named `_ff<i>_q`; their D cones
+    /// become outputs named `_ff<i>_d`. Netlist primary inputs/outputs map
+    /// 1:1. The returned AIG therefore contains every combinational cone
+    /// that will occupy LUTs on the FPGA.
+    pub fn from_netlist(netlist: &Netlist) -> Aig {
+        let mut g = Aig::new();
+        let mut lit_of: Vec<Lit> = vec![Lit::FALSE; netlist.len()];
+        let mut dffs = Vec::new();
+        // Pass 1: create AIG inputs for netlist inputs and FF outputs, in
+        // netlist node order so `eval` order is deterministic.
+        for (id, node) in netlist.nodes() {
+            match node {
+                Node::Input { name } => {
+                    lit_of[id.index()] = g.add_input(name.clone());
+                }
+                Node::Dff { d, .. } => {
+                    let i = dffs.len();
+                    lit_of[id.index()] = g.add_input(format!("_ff{i}_q"));
+                    dffs.push((i, d.expect("netlist must be fully connected")));
+                }
+                _ => {}
+            }
+        }
+        // Pass 2: gates in creation (= topological) order.
+        for (id, node) in netlist.nodes() {
+            let lit = match node {
+                Node::Input { .. } | Node::Dff { .. } => continue,
+                Node::Const(v) => {
+                    if *v {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    }
+                }
+                Node::Not(a) => lit_of[a.index()].not(),
+                Node::And(a, b) => {
+                    let (a, b) = (lit_of[a.index()], lit_of[b.index()]);
+                    g.and(a, b)
+                }
+                Node::Or(a, b) => {
+                    let (a, b) = (lit_of[a.index()], lit_of[b.index()]);
+                    g.or(a, b)
+                }
+                Node::Xor(a, b) => {
+                    let (a, b) = (lit_of[a.index()], lit_of[b.index()]);
+                    g.xor(a, b)
+                }
+                Node::Mux { sel, t, f } => {
+                    let (s, t, f) = (lit_of[sel.index()], lit_of[t.index()], lit_of[f.index()]);
+                    g.mux(s, t, f)
+                }
+            };
+            lit_of[id.index()] = lit;
+        }
+        for (name, id) in netlist.outputs() {
+            g.add_output(name.clone(), lit_of[id.index()]);
+        }
+        for (i, d) in dffs {
+            g.add_output(format!("_ff{i}_d"), lit_of[d.index()]);
+        }
+        g
+    }
+}
+
+impl fmt::Display for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aig: {} inputs, {} ands, {} outputs",
+            self.num_inputs,
+            self.num_ands(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        let l = Lit::new(5, true);
+        assert_eq!(l.var(), 5);
+        assert!(l.is_inverted());
+        assert_eq!(l.not().var(), 5);
+        assert!(!l.not().is_inverted());
+        assert!(Lit::FALSE.is_const() && Lit::TRUE.is_const());
+        assert_eq!(Lit::FALSE.not(), Lit::TRUE);
+        assert_eq!(format!("{:?}", l), "!v5");
+    }
+
+    #[test]
+    fn and_constant_folding() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn strash_dedups() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y, "commuted AND must hash to the same node");
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_input("s");
+        let and = g.and(a, b);
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        let mux = g.mux(s, a, b);
+        for (n, l) in [("and", and), ("or", or), ("xor", xor), ("mux", mux)] {
+            g.add_output(n, l);
+        }
+        for v in 0..8u32 {
+            let (a, b, s) = (v & 1 == 1, v & 2 == 2, v & 4 == 4);
+            let out = g.eval(&[a, b, s]);
+            assert_eq!(out[0], a && b);
+            assert_eq!(out[1], a || b);
+            assert_eq!(out[2], a ^ b);
+            assert_eq!(out[3], if s { a } else { b });
+        }
+    }
+
+    #[test]
+    fn from_netlist_matches_simulation() {
+        use rfjson_rtl::Simulator;
+        // Build a small netlist mixing every gate type plus a register.
+        let mut n = Netlist::new("mix");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let g1 = n.and(a, b);
+        let g2 = n.or(g1, c);
+        let g3 = n.xor(g2, a);
+        let g4 = n.mux(c, g3, g1);
+        let q = n.dff(g4, false);
+        let g5 = n.and(q, g2);
+        n.output("y", g5);
+
+        let aig = Aig::from_netlist(&n);
+        // AIG inputs: a, b, c, _ff0_q ; outputs: y, _ff0_d
+        assert_eq!(aig.num_inputs(), 4);
+        let mut sim = Simulator::new(&n).unwrap();
+        for v in 0..16u32 {
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4, v & 8 == 8];
+            sim.set_input("a", bits[0]).unwrap();
+            sim.set_input("b", bits[1]).unwrap();
+            sim.set_input("c", bits[2]).unwrap();
+            // Force the register to a chosen value by resetting and, if
+            // needed, clocking a matching D in. Simpler: only compare when
+            // the register is in its reset state (false).
+            sim.reset();
+            sim.settle();
+            if !bits[3] {
+                let out = aig.eval(&bits);
+                assert_eq!(out[0], sim.output("y").unwrap(), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.and(a, b);
+        g.add_output("y", y);
+        assert_eq!(g.to_string(), "aig: 2 inputs, 1 ands, 1 outputs");
+    }
+}

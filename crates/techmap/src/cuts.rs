@@ -1,0 +1,226 @@
+//! K-feasible cut enumeration (priority cuts).
+//!
+//! A *cut* of an AIG node is a set of nodes ("leaves") such that every path
+//! from the inputs to the node crosses a leaf; a K-feasible cut has at most
+//! K leaves and corresponds to a K-input LUT implementing the node's cone.
+//! We enumerate bottom-up, keeping only the `MAX_CUTS` most promising cuts
+//! per node (the classic *priority cuts* scheme of Mishchenko et al.).
+
+use crate::aig::{Aig, AigNode};
+
+/// Maximum number of cuts retained per node.
+pub const MAX_CUTS: usize = 8;
+
+/// A cut: sorted leaf variables (≤ K of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted node variables forming the cut boundary.
+    pub leaves: Vec<u32>,
+}
+
+impl Cut {
+    /// The trivial cut `{var}`.
+    pub fn trivial(var: u32) -> Self {
+        Cut { leaves: vec![var] }
+    }
+
+    /// Merges two sorted leaf sets; `None` if the union exceeds `k`.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.leaves, &other.leaves);
+        while i < a.len() || j < b.len() {
+            let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+                if j < b.len() && a[i] == b[j] {
+                    j += 1;
+                }
+                let v = a[i];
+                i += 1;
+                v
+            } else {
+                let v = b[j];
+                j += 1;
+                v
+            };
+            if leaves.len() == k {
+                return None;
+            }
+            leaves.push(next);
+        }
+        Some(Cut { leaves })
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if every leaf of `self` is also a leaf of `other` (i.e. `self`
+    /// dominates `other` and makes it redundant).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.size() > other.size() {
+            return false;
+        }
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j >= other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-node cut sets for a whole AIG.
+#[derive(Debug)]
+pub struct CutSets {
+    /// `cuts[var]` lists the retained cuts of that node.
+    pub cuts: Vec<Vec<Cut>>,
+}
+
+/// Enumerates priority cuts for every node of `aig` with LUT arity `k`.
+///
+/// Inputs and the constant node get only their trivial cut. AND nodes merge
+/// the fan-in cut sets, always retain the trivial cut (so multi-LUT
+/// decompositions remain possible), drop dominated cuts, and keep the
+/// `MAX_CUTS` best by `(size, sum of leaf depths)`.
+pub fn enumerate(aig: &Aig, k: usize) -> CutSets {
+    assert!((2..=8).contains(&k), "LUT arity must be in 2..=8");
+    let nodes = aig.nodes();
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(nodes.len());
+    let mut depth: Vec<u32> = vec![0; nodes.len()];
+    for (var, node) in nodes.iter().enumerate() {
+        let var = var as u32;
+        match node {
+            AigNode::Const | AigNode::Input { .. } => {
+                all.push(vec![Cut::trivial(var)]);
+            }
+            AigNode::And(a, b) => {
+                let mut cand: Vec<Cut> = Vec::new();
+                for ca in &all[a.var() as usize] {
+                    for cb in &all[b.var() as usize] {
+                        if let Some(c) = ca.merge(cb, k) {
+                            cand.push(c);
+                        }
+                    }
+                }
+                cand.push(Cut::trivial(var));
+                // Remove duplicates and dominated cuts.
+                cand.sort_by(|x, y| x.size().cmp(&y.size()).then_with(|| x.leaves.cmp(&y.leaves)));
+                cand.dedup();
+                let mut kept: Vec<Cut> = Vec::new();
+                for c in cand {
+                    if !kept.iter().any(|k| k.dominates(&c)) {
+                        kept.push(c);
+                    }
+                }
+                // Depth of the node = best achievable over its cuts.
+                let d = kept
+                    .iter()
+                    .map(|c| cut_depth(c, &depth, var))
+                    .min()
+                    .unwrap_or(0);
+                depth[var as usize] = d;
+                // Rank: prefer shallow, then small.
+                kept.sort_by_key(|c| (cut_depth(c, &depth, var), c.size() as u32));
+                kept.truncate(MAX_CUTS);
+                all.push(kept);
+            }
+        }
+    }
+    CutSets { cuts: all }
+}
+
+/// Depth a LUT on this cut would have: 1 + max leaf depth (trivial cut of
+/// the node itself scores as pass-through).
+fn cut_depth(cut: &Cut, depth: &[u32], node: u32) -> u32 {
+    if cut.leaves == [node] {
+        return depth[node as usize];
+    }
+    1 + cut
+        .leaves
+        .iter()
+        .map(|&l| depth[l as usize])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut { leaves: vec![1, 2, 3] };
+        let b = Cut { leaves: vec![3, 4, 5] };
+        assert_eq!(a.merge(&b, 6).unwrap().leaves, vec![1, 2, 3, 4, 5]);
+        assert!(a.merge(&b, 4).is_none());
+    }
+
+    #[test]
+    fn merge_dedups_common_leaves() {
+        let a = Cut { leaves: vec![1, 2] };
+        let b = Cut { leaves: vec![1, 2] };
+        assert_eq!(a.merge(&b, 2).unwrap().leaves, vec![1, 2]);
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cut { leaves: vec![1, 3] };
+        let big = Cut { leaves: vec![1, 2, 3] };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small));
+        let other = Cut { leaves: vec![1, 4] };
+        assert!(!small.dominates(&other));
+    }
+
+    #[test]
+    fn enumerate_chain() {
+        // y = ((a&b)&c)&d : with k=6 the root must own a cut {a,b,c,d}.
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        let abcd = g.and(abc, d);
+        g.add_output("y", abcd);
+        let cs = enumerate(&g, 6);
+        let root = &cs.cuts[abcd.var() as usize];
+        let want: Vec<u32> = vec![a.var(), b.var(), c.var(), d.var()];
+        assert!(
+            root.iter().any(|c| c.leaves == want),
+            "root cuts {root:?} must include the full-support cut"
+        );
+    }
+
+    #[test]
+    fn enumerate_respects_k2() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output("y", abc);
+        let cs = enumerate(&g, 2);
+        for cuts in &cs.cuts {
+            for cut in cuts {
+                assert!(cut.size() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT arity")]
+    fn enumerate_rejects_bad_k() {
+        let g = Aig::new();
+        let _ = enumerate(&g, 1);
+    }
+}

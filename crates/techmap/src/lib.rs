@@ -1,0 +1,46 @@
+//! # rfjson-techmap — LUT technology mapping and resource estimation
+//!
+//! The paper reports the cost of every raw-filter primitive in **FPGA LUTs**
+//! (Xilinx 7-series, 6-input). This crate reproduces that resource model in
+//! software: an [`aig::Aig`] (And-Inverter Graph) is extracted from an
+//! `rfjson-rtl` netlist, K-feasible cuts are enumerated ([`cuts`]), and a
+//! priority-cut mapper ([`mapper`]) covers the graph with K-input LUTs,
+//! yielding a [`report::ResourceReport`].
+//!
+//! Absolute numbers will not equal Vivado's (no retiming, no carry chains),
+//! but the *relative shape* the paper's Tables I–III and V–VII rely on —
+//! growth with string length for exact matchers, near-flat cost for the
+//! substring matcher, tens of LUTs for range DFAs — emerges from the same
+//! structural mechanisms.
+//!
+//! # Example
+//!
+//! ```
+//! use rfjson_rtl::Netlist;
+//! use rfjson_techmap::map_netlist;
+//!
+//! let mut n = Netlist::new("xor3");
+//! let a = n.input("a");
+//! let b = n.input("b");
+//! let c = n.input("c");
+//! let ab = n.xor(a, b);
+//! let abc = n.xor(ab, c);
+//! n.output("y", abc);
+//!
+//! let report = map_netlist(&n, 6);
+//! assert_eq!(report.luts, 1, "a 3-input function fits one 6-LUT");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aig;
+pub mod cuts;
+pub mod lutnet;
+pub mod mapper;
+pub mod report;
+
+pub use aig::Aig;
+pub use lutnet::LutNetwork;
+pub use mapper::{map_aig, map_netlist};
+pub use report::ResourceReport;

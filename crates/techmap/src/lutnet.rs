@@ -1,0 +1,228 @@
+//! Mapped LUT networks.
+//!
+//! The output of technology mapping: a DAG of K-input LUTs, each holding an
+//! explicit truth table, plus output bindings. Used to *verify* mapping
+//! (functional equivalence against the source AIG) and to measure mapped
+//! depth.
+
+use std::fmt;
+
+/// Reference to a LUT input signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalRef {
+    /// The i-th primary input of the network.
+    Input(usize),
+    /// Output of another LUT (by index into [`LutNetwork::luts`]).
+    Lut(usize),
+}
+
+/// One K-input lookup table.
+#[derive(Debug, Clone)]
+pub struct Lut {
+    /// Input signals, LSB-first with respect to the truth-table index.
+    pub inputs: Vec<SignalRef>,
+    /// Truth table: bit `i` is the output for input pattern `i`.
+    pub table: u64,
+    /// The AIG variable this LUT implements (diagnostics).
+    pub root_var: u32,
+}
+
+impl Lut {
+    /// Evaluates the LUT for concrete input values.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        debug_assert_eq!(values.len(), self.inputs.len());
+        let mut idx = 0usize;
+        for (i, v) in values.iter().enumerate() {
+            idx |= usize::from(*v) << i;
+        }
+        (self.table >> idx) & 1 == 1
+    }
+}
+
+/// Binding of a named network output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputBinding {
+    /// Constant output.
+    Const(bool),
+    /// A primary input, optionally inverted.
+    Input {
+        /// Input ordinal.
+        index: usize,
+        /// Invert on the way out.
+        inverted: bool,
+    },
+    /// A LUT output, optionally inverted.
+    Lut {
+        /// LUT index.
+        index: usize,
+        /// Invert on the way out.
+        inverted: bool,
+    },
+}
+
+/// A technology-mapped network of K-input LUTs.
+///
+/// LUTs are stored in topological order (inputs of LUT *i* only reference
+/// LUTs with smaller index or primary inputs).
+#[derive(Debug, Clone, Default)]
+pub struct LutNetwork {
+    /// The LUTs, topologically ordered.
+    pub luts: Vec<Lut>,
+    /// Named outputs.
+    pub outputs: Vec<(String, OutputBinding)>,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+}
+
+impl LutNetwork {
+    /// Evaluates all outputs for an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut lut_vals = Vec::with_capacity(self.luts.len());
+        for lut in &self.luts {
+            let vals: Vec<bool> = lut
+                .inputs
+                .iter()
+                .map(|r| match r {
+                    SignalRef::Input(i) => inputs[*i],
+                    SignalRef::Lut(i) => lut_vals[*i],
+                })
+                .collect();
+            lut_vals.push(lut.eval(&vals));
+        }
+        self.outputs
+            .iter()
+            .map(|(_, b)| match *b {
+                OutputBinding::Const(v) => v,
+                OutputBinding::Input { index, inverted } => inputs[index] ^ inverted,
+                OutputBinding::Lut { index, inverted } => lut_vals[index] ^ inverted,
+            })
+            .collect()
+    }
+
+    /// Largest LUT fan-in used.
+    pub fn max_arity(&self) -> usize {
+        self.luts.iter().map(|l| l.inputs.len()).max().unwrap_or(0)
+    }
+
+    /// Depth in LUT levels (longest path from any input to any output).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            level[i] = lut
+                .inputs
+                .iter()
+                .map(|r| match r {
+                    SignalRef::Input(_) => 0,
+                    SignalRef::Lut(j) => level[*j],
+                })
+                .max()
+                .unwrap_or(0)
+                + 1;
+        }
+        self.outputs
+            .iter()
+            .map(|(_, b)| match b {
+                OutputBinding::Lut { index, .. } => level[*index],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for LutNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lut network: {} LUTs (max arity {}), depth {}, {} inputs, {} outputs",
+            self.luts.len(),
+            self.max_arity(),
+            self.depth(),
+            self.num_inputs,
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2_lut(a: SignalRef, b: SignalRef, root_var: u32) -> Lut {
+        // table for xor: patterns 01 and 10 -> 1 (bits 1 and 2)
+        Lut {
+            inputs: vec![a, b],
+            table: 0b0110,
+            root_var,
+        }
+    }
+
+    #[test]
+    fn single_lut_eval() {
+        let net = LutNetwork {
+            luts: vec![xor2_lut(SignalRef::Input(0), SignalRef::Input(1), 1)],
+            outputs: vec![(
+                "y".into(),
+                OutputBinding::Lut {
+                    index: 0,
+                    inverted: false,
+                },
+            )],
+            num_inputs: 2,
+        };
+        assert_eq!(net.eval(&[false, false]), vec![false]);
+        assert_eq!(net.eval(&[true, false]), vec![true]);
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.max_arity(), 2);
+    }
+
+    #[test]
+    fn chained_luts_and_inverted_output() {
+        // y = !( (a ^ b) ^ c )
+        let l0 = xor2_lut(SignalRef::Input(0), SignalRef::Input(1), 1);
+        let l1 = xor2_lut(SignalRef::Lut(0), SignalRef::Input(2), 2);
+        let net = LutNetwork {
+            luts: vec![l0, l1],
+            outputs: vec![(
+                "y".into(),
+                OutputBinding::Lut {
+                    index: 1,
+                    inverted: true,
+                },
+            )],
+            num_inputs: 3,
+        };
+        for v in 0..8u32 {
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4];
+            let want = !(bits[0] ^ bits[1] ^ bits[2]);
+            assert_eq!(net.eval(&bits), vec![want]);
+        }
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn passthrough_and_const_outputs() {
+        let net = LutNetwork {
+            luts: vec![],
+            outputs: vec![
+                ("t".into(), OutputBinding::Const(true)),
+                (
+                    "a_inv".into(),
+                    OutputBinding::Input {
+                        index: 0,
+                        inverted: true,
+                    },
+                ),
+            ],
+            num_inputs: 1,
+        };
+        assert_eq!(net.eval(&[true]), vec![true, false]);
+        assert_eq!(net.depth(), 0);
+    }
+}

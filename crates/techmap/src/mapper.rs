@@ -1,0 +1,379 @@
+//! Priority-cut LUT mapping.
+//!
+//! Selection uses *area flow* (Mishchenko et al., "Improvements to
+//! technology mapping for LUT-based FPGAs"): the estimated area of a cut is
+//! `1 + Σ area(leaf)/fanout(leaf)`, which accounts for logic sharing. Cover
+//! extraction walks from the outputs, instantiating the chosen cut of every
+//! required node; truth tables are computed by cone evaluation, so
+//! inverters vanish into the tables — exactly why the paper's wide
+//! OR-reductions "can be combined in one LUT".
+
+use crate::aig::{Aig, AigNode, Lit};
+use crate::cuts::{enumerate, Cut};
+use crate::lutnet::{Lut, LutNetwork, OutputBinding, SignalRef};
+use crate::report::ResourceReport;
+use rfjson_rtl::Netlist;
+use std::collections::HashMap;
+
+/// Maps an AIG into a network of `k`-input LUTs.
+///
+/// Returns the resource report together with the mapped network (for
+/// verification and depth inspection).
+///
+/// # Panics
+///
+/// Panics if `k` is outside `2..=6` (truth tables are stored in a `u64`).
+pub fn map_aig(aig: &Aig, k: usize) -> (ResourceReport, LutNetwork) {
+    assert!((2..=6).contains(&k), "LUT arity must be in 2..=6");
+    let nodes = aig.nodes();
+    let cut_sets = enumerate(aig, k);
+
+    // Fanout estimation for area flow.
+    let mut fanout = vec![0u32; nodes.len()];
+    for node in nodes {
+        if let AigNode::And(a, b) = node {
+            fanout[a.var() as usize] += 1;
+            fanout[b.var() as usize] += 1;
+        }
+    }
+    for (_, lit) in aig.outputs() {
+        fanout[lit.var() as usize] += 1;
+    }
+
+    // Area-flow + depth labelling, choosing one best cut per AND node.
+    let mut flow = vec![0.0f64; nodes.len()];
+    let mut depth = vec![0u32; nodes.len()];
+    let mut best: Vec<Option<Cut>> = vec![None; nodes.len()];
+    for (var, node) in nodes.iter().enumerate() {
+        if !matches!(node, AigNode::And(..)) {
+            continue;
+        }
+        let mut best_cut: Option<(&Cut, f64, u32)> = None;
+        for cut in &cut_sets.cuts[var] {
+            if cut.leaves == [var as u32] {
+                continue; // trivial self-cut cannot implement the node
+            }
+            let af: f64 = 1.0
+                + cut
+                    .leaves
+                    .iter()
+                    .map(|&l| flow[l as usize] / f64::from(fanout[l as usize].max(1)))
+                    .sum::<f64>();
+            let d: u32 = 1 + cut
+                .leaves
+                .iter()
+                .map(|&l| depth[l as usize])
+                .max()
+                .unwrap_or(0);
+            let better = match best_cut {
+                None => true,
+                Some((_, baf, bd)) => (af, d) < (baf, bd),
+            };
+            if better {
+                best_cut = Some((cut, af, d));
+            }
+        }
+        let (cut, af, d) = best_cut.expect("every AND node has a non-trivial cut");
+        flow[var] = af;
+        depth[var] = d;
+        best[var] = Some(cut.clone());
+    }
+
+    // Cover extraction from the outputs.
+    let mut selected: Vec<u32> = Vec::new();
+    let mut is_selected = vec![false; nodes.len()];
+    let mut stack: Vec<u32> = aig
+        .outputs()
+        .iter()
+        .map(|(_, l)| l.var())
+        .filter(|&v| matches!(nodes[v as usize], AigNode::And(..)))
+        .collect();
+    while let Some(var) = stack.pop() {
+        if is_selected[var as usize] {
+            continue;
+        }
+        is_selected[var as usize] = true;
+        selected.push(var);
+        let cut = best[var as usize].as_ref().expect("selected node has a cut");
+        for &leaf in &cut.leaves {
+            if matches!(nodes[leaf as usize], AigNode::And(..)) {
+                stack.push(leaf);
+            }
+        }
+    }
+    selected.sort_unstable(); // AIG creation order is topological
+
+    // Build the LUT network.
+    let mut input_ordinal: HashMap<u32, usize> = HashMap::new();
+    let mut next_input = 0usize;
+    for (var, node) in nodes.iter().enumerate() {
+        if matches!(node, AigNode::Input { .. }) {
+            input_ordinal.insert(var as u32, next_input);
+            next_input += 1;
+        }
+    }
+    let mut lut_index: HashMap<u32, usize> = HashMap::new();
+    let mut net = LutNetwork {
+        luts: Vec::with_capacity(selected.len()),
+        outputs: Vec::new(),
+        num_inputs: next_input,
+    };
+    for &var in &selected {
+        let cut = best[var as usize].as_ref().expect("cut exists");
+        let inputs: Vec<SignalRef> = cut
+            .leaves
+            .iter()
+            .map(|&l| match nodes[l as usize] {
+                AigNode::Input { .. } => SignalRef::Input(input_ordinal[&l]),
+                AigNode::And(..) => SignalRef::Lut(lut_index[&l]),
+                AigNode::Const => unreachable!("constants fold before cuts"),
+            })
+            .collect();
+        let table = cone_truth_table(aig, var, &cut.leaves);
+        lut_index.insert(var, net.luts.len());
+        net.luts.push(Lut {
+            inputs,
+            table,
+            root_var: var,
+        });
+    }
+    for (name, lit) in aig.outputs() {
+        let binding = bind_output(*lit, nodes, &input_ordinal, &lut_index);
+        net.outputs.push((name.clone(), binding));
+    }
+
+    let report = ResourceReport {
+        luts: net.luts.len(),
+        ffs: 0,
+        lut_depth: net.depth(),
+        aig_ands: aig.num_ands(),
+        aig_inputs: aig.num_inputs(),
+    };
+    (report, net)
+}
+
+fn bind_output(
+    lit: Lit,
+    nodes: &[AigNode],
+    input_ordinal: &HashMap<u32, usize>,
+    lut_index: &HashMap<u32, usize>,
+) -> OutputBinding {
+    match nodes[lit.var() as usize] {
+        AigNode::Const => OutputBinding::Const(lit.is_inverted()),
+        AigNode::Input { .. } => OutputBinding::Input {
+            index: input_ordinal[&lit.var()],
+            inverted: lit.is_inverted(),
+        },
+        AigNode::And(..) => OutputBinding::Lut {
+            index: lut_index[&lit.var()],
+            inverted: lit.is_inverted(),
+        },
+    }
+}
+
+/// Computes the truth table of the cone rooted at `root` over `leaves`.
+fn cone_truth_table(aig: &Aig, root: u32, leaves: &[u32]) -> u64 {
+    debug_assert!(leaves.len() <= 6);
+    let nodes = aig.nodes();
+    let mut table = 0u64;
+    let mut memo: HashMap<u32, bool> = HashMap::new();
+    for pattern in 0..(1u64 << leaves.len()) {
+        memo.clear();
+        for (i, &l) in leaves.iter().enumerate() {
+            memo.insert(l, (pattern >> i) & 1 == 1);
+        }
+        if eval_cone(nodes, root, &mut memo) {
+            table |= 1 << pattern;
+        }
+    }
+    table
+}
+
+fn eval_cone(nodes: &[AigNode], var: u32, memo: &mut HashMap<u32, bool>) -> bool {
+    if let Some(&v) = memo.get(&var) {
+        return v;
+    }
+    let v = match &nodes[var as usize] {
+        AigNode::Const => false,
+        AigNode::Input { name } => {
+            unreachable!("cone evaluation escaped its cut at input {name}")
+        }
+        AigNode::And(a, b) => {
+            let va = eval_cone(nodes, a.var(), memo) ^ a.is_inverted();
+            let vb = eval_cone(nodes, b.var(), memo) ^ b.is_inverted();
+            va && vb
+        }
+    };
+    memo.insert(var, v);
+    v
+}
+
+/// Convenience: netlist → AIG → mapped report, with flip-flops counted.
+///
+/// This is the "synthesis + map" flow every resource number in the
+/// benchmark tables goes through.
+pub fn map_netlist(netlist: &Netlist, k: usize) -> ResourceReport {
+    let aig = Aig::from_netlist(netlist);
+    let (mut report, _) = map_aig(&aig, k);
+    report.ffs = netlist.num_dffs();
+    report
+}
+
+/// Like [`map_netlist`] but also returns the mapped network (used by the
+/// co-simulation tests).
+pub fn map_netlist_full(netlist: &Netlist, k: usize) -> (ResourceReport, LutNetwork) {
+    let aig = Aig::from_netlist(netlist);
+    let (mut report, net) = map_aig(&aig, k);
+    report.ffs = netlist.num_dffs();
+    (report, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(aig: &Aig, net: &LutNetwork, samples: u64) {
+        // Deterministic pseudo-random assignments (xorshift).
+        let n = aig.num_inputs();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for _ in 0..samples {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let inputs: Vec<bool> = (0..n).map(|i| (x >> (i % 64)) & 1 == 1).collect();
+            assert_eq!(aig.eval(&inputs), net.eval(&inputs));
+        }
+    }
+
+    #[test]
+    fn xor3_fits_one_lut() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.xor(a, b);
+        let abc = g.xor(ab, c);
+        g.add_output("y", abc);
+        let (report, net) = map_aig(&g, 6);
+        assert_eq!(report.luts, 1);
+        assert_equivalent(&g, &net, 64);
+    }
+
+    #[test]
+    fn wide_and_splits_into_luts() {
+        // 12-input AND with k=4: needs a tree of LUTs, at least ceil(11/3)=4.
+        let mut g = Aig::new();
+        let inputs: Vec<_> = (0..12).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &l in &inputs[1..] {
+            acc = g.and(acc, l);
+        }
+        g.add_output("y", acc);
+        let (report, net) = map_aig(&g, 4);
+        assert!(report.luts >= 4, "got {} LUTs", report.luts);
+        assert!(net.max_arity() <= 4);
+        assert_equivalent(&g, &net, 256);
+    }
+
+    #[test]
+    fn wide_or_collapses_with_k6() {
+        // 6-input OR = exactly one 6-LUT — the paper's "entire logic can be
+        // combined in one LUT" effect.
+        let mut g = Aig::new();
+        let inputs: Vec<_> = (0..6).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &l in &inputs[1..] {
+            acc = g.or(acc, l);
+        }
+        g.add_output("y", acc);
+        let (report, net) = map_aig(&g, 6);
+        assert_eq!(report.luts, 1);
+        assert_equivalent(&g, &net, 64);
+    }
+
+    #[test]
+    fn passthrough_output_costs_nothing() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        g.add_output("y", a.not());
+        let (report, net) = map_aig(&g, 6);
+        assert_eq!(report.luts, 0);
+        assert_eq!(net.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn const_output() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let y = g.and(a, a.not()); // folds to false
+        g.add_output("y", y);
+        let (report, net) = map_aig(&g, 6);
+        assert_eq!(report.luts, 0);
+        assert_eq!(net.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn shared_logic_counted_once() {
+        // Two outputs sharing a subexpression must not double-count it.
+        let mut g = Aig::new();
+        let inputs: Vec<_> = (0..8).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut shared = inputs[0];
+        for &l in &inputs[1..6] {
+            shared = g.and(shared, l);
+        }
+        let o1 = g.and(shared, inputs[6]);
+        let o2 = g.and(shared, inputs[7]);
+        g.add_output("o1", o1);
+        g.add_output("o2", o2);
+        let (report, net) = map_aig(&g, 6);
+        // shared (6-input cone) = 1 LUT, plus one small LUT per output.
+        assert!(report.luts <= 3, "got {} LUTs", report.luts);
+        assert_equivalent(&g, &net, 256);
+    }
+
+    #[test]
+    fn netlist_flow_counts_ffs() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and(a, b);
+        let q = n.dff(y, false);
+        n.output("q", q);
+        let report = map_netlist(&n, 6);
+        assert_eq!(report.ffs, 1);
+        assert_eq!(report.luts, 1);
+    }
+
+    #[test]
+    fn mapped_netlist_equivalent_random_logic() {
+        // A pseudo-random 30-gate netlist, mapped and checked exhaustively.
+        let mut n = Netlist::new("rand");
+        let inputs: Vec<_> = (0..5).map(|i| n.input(format!("i{i}"))).collect();
+        let mut pool = inputs.clone();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for g in 0..30 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = pool[(x >> 11) as usize % pool.len()];
+            let b = pool[(x >> 37) as usize % pool.len()];
+            let node = match (x >> 5) % 4 {
+                0 => n.and(a, b),
+                1 => n.or(a, b),
+                2 => n.xor(a, b),
+                _ => {
+                    let c = pool[(x >> 53) as usize % pool.len()];
+                    n.mux(a, b, c)
+                }
+            };
+            pool.push(node);
+            if g % 7 == 0 {
+                n.output(format!("o{g}"), node);
+            }
+        }
+        let aig = Aig::from_netlist(&n);
+        let (_, net) = map_aig(&aig, 6);
+        for v in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(aig.eval(&bits), net.eval(&bits), "pattern {v}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Resource reports.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Post-mapping resource usage of one block — the unit in which the paper
+/// quotes every filter cost.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_techmap::ResourceReport;
+///
+/// let a = ResourceReport { luts: 10, ffs: 4, lut_depth: 2, aig_ands: 30, aig_inputs: 9 };
+/// let b = ResourceReport { luts: 5, ffs: 1, lut_depth: 3, aig_ands: 12, aig_inputs: 9 };
+/// let sum = a + b;
+/// assert_eq!(sum.luts, 15);
+/// assert_eq!(sum.lut_depth, 3, "parallel blocks: depth is the max");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceReport {
+    /// Number of K-input LUTs after mapping.
+    pub luts: usize,
+    /// Number of flip-flops (mapped 1:1, never into LUTs).
+    pub ffs: usize,
+    /// Depth of the mapped network in LUT levels.
+    pub lut_depth: usize,
+    /// AND nodes of the pre-mapping AIG (structural size).
+    pub aig_ands: usize,
+    /// Primary inputs of the AIG (including FF outputs).
+    pub aig_inputs: usize,
+}
+
+impl Add for ResourceReport {
+    type Output = ResourceReport;
+
+    /// Combines reports of blocks instantiated side by side: LUTs/FFs add,
+    /// depth is the maximum (they operate in parallel on the same stream).
+    fn add(self, rhs: ResourceReport) -> ResourceReport {
+        ResourceReport {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            lut_depth: self.lut_depth.max(rhs.lut_depth),
+            aig_ands: self.aig_ands + rhs.aig_ands,
+            aig_inputs: self.aig_inputs.max(rhs.aig_inputs),
+        }
+    }
+}
+
+impl Sum for ResourceReport {
+    fn sum<I: Iterator<Item = ResourceReport>>(iter: I) -> ResourceReport {
+        iter.fold(ResourceReport::default(), Add::add)
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, depth {} (aig: {} ands / {} inputs)",
+            self.luts, self.ffs, self.lut_depth, self.aig_ands, self.aig_inputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let r = ResourceReport {
+            luts: 3,
+            ffs: 2,
+            lut_depth: 1,
+            aig_ands: 7,
+            aig_inputs: 4,
+        };
+        let total: ResourceReport = vec![r, r, r].into_iter().sum();
+        assert_eq!(total.luts, 9);
+        assert_eq!(total.ffs, 6);
+        assert_eq!(total.lut_depth, 1);
+        assert_eq!(total.aig_ands, 21);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let r = ResourceReport {
+            luts: 42,
+            ffs: 7,
+            lut_depth: 3,
+            aig_ands: 99,
+            aig_inputs: 12,
+        };
+        let s = r.to_string();
+        assert!(s.contains("42 LUTs") && s.contains("7 FFs") && s.contains("depth 3"));
+    }
+}

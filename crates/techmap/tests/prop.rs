@@ -1,0 +1,132 @@
+//! Property tests for technology mapping: functional equivalence of the
+//! mapped LUT network against the source AIG for randomly generated
+//! logic, arity bounds, and cost monotonicity.
+
+use proptest::prelude::*;
+use rfjson_techmap::aig::{Aig, Lit};
+use rfjson_techmap::map_aig;
+
+/// Deterministically grows a random AIG from a seed.
+fn random_aig(seed: u64, num_inputs: usize, num_ops: usize) -> Aig {
+    let mut g = Aig::new();
+    let mut pool: Vec<Lit> = (0..num_inputs)
+        .map(|i| g.add_input(format!("i{i}")))
+        .collect();
+    let mut x = seed | 1;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..num_ops {
+        let a = pool[(step() as usize) % pool.len()];
+        let b = pool[(step() as usize) % pool.len()];
+        let a = if step() % 2 == 0 { a } else { a.not() };
+        let b = if step() % 2 == 0 { b } else { b.not() };
+        let node = match step() % 4 {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            _ => {
+                let s = pool[(step() as usize) % pool.len()];
+                g.mux(s, a, b)
+            }
+        };
+        pool.push(node);
+    }
+    // A handful of outputs from the most recent nodes.
+    let n = pool.len();
+    for (k, &lit) in pool[n.saturating_sub(4)..].iter().enumerate() {
+        g.add_output(format!("o{k}"), lit);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn mapping_preserves_function(
+        seed in any::<u64>(),
+        num_inputs in 2usize..7,
+        num_ops in 1usize..60,
+        k in 3usize..7,
+    ) {
+        let aig = random_aig(seed, num_inputs, num_ops);
+        let (report, net) = map_aig(&aig, k);
+        prop_assert!(net.max_arity() <= k, "LUT arity bound violated");
+        prop_assert_eq!(report.luts, net.luts.len());
+        // Exhaustive check over all input assignments (≤ 64 patterns).
+        for pattern in 0u64..(1 << num_inputs) {
+            let inputs: Vec<bool> = (0..num_inputs).map(|i| (pattern >> i) & 1 == 1).collect();
+            prop_assert_eq!(
+                aig.eval(&inputs),
+                net.eval(&inputs),
+                "seed {} pattern {:b}", seed, pattern
+            );
+        }
+    }
+
+    #[test]
+    fn larger_k_never_needs_more_luts_on_trees(
+        depth in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Balanced AND tree of 2^depth inputs: cost must be monotone
+        // non-increasing in K.
+        let leaves = 1usize << depth;
+        let mut g = Aig::new();
+        let mut layer: Vec<Lit> = (0..leaves).map(|i| g.add_input(format!("i{i}"))).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| if c.len() == 2 { g.and(c[0], c[1]) } else { c[0] })
+                .collect();
+        }
+        g.add_output("y", layer[0]);
+        let _ = seed;
+        let luts: Vec<usize> = (3..=6).map(|k| map_aig(&g, k).0.luts).collect();
+        for w in luts.windows(2) {
+            prop_assert!(w[1] <= w[0], "K-monotonicity violated: {:?}", luts);
+        }
+    }
+
+    #[test]
+    fn netlist_round_trip_equivalence(seed in any::<u64>()) {
+        // Netlist → AIG → mapped network, checked against netlist
+        // simulation on all 32 input patterns.
+        use rfjson_rtl::{BitVec, Netlist, Simulator};
+        let mut n = Netlist::new("rand");
+        let word = n.input_word("x", 5);
+        let mut pool = word.clone();
+        let mut x = seed | 1;
+        for g in 0..25 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let a = pool[(x >> 7) as usize % pool.len()];
+            let b = pool[(x >> 23) as usize % pool.len()];
+            let node = match (x >> 41) % 4 {
+                0 => n.and(a, b),
+                1 => n.or(a, b),
+                2 => n.xor(a, b),
+                _ => n.not(a),
+            };
+            pool.push(node);
+            if g % 5 == 0 {
+                n.output(format!("o{g}"), node);
+            }
+        }
+        let aig = rfjson_techmap::Aig::from_netlist(&n);
+        let (_, net) = map_aig(&aig, 6);
+        let mut sim = Simulator::new(&n).unwrap();
+        for pattern in 0u64..32 {
+            sim.set_input_word("x", &BitVec::from_u64(pattern, 5)).unwrap();
+            sim.settle();
+            let want: Vec<bool> = n
+                .outputs()
+                .iter()
+                .map(|(name, _)| sim.output(name).unwrap())
+                .collect();
+            let inputs: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            prop_assert_eq!(net.eval(&inputs), want, "pattern {:b}", pattern);
+        }
+    }
+}

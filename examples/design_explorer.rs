@@ -1,0 +1,47 @@
+//! Design-space exploration (§III-D / §IV-A): enumerate raw-filter
+//! configurations for a query, measure FPR and LUT cost, and print the
+//! Pareto front in the paper's notation — a miniature of Tables V–VII.
+//!
+//! Run with: `cargo run -p rfjson-core --example design_explorer --release`
+
+use rfjson_core::design::{explore, pareto, ExploreOptions};
+use rfjson_core::expr::StringTechnique;
+use rfjson_riotbench::{smartcity, Query};
+
+fn main() {
+    println!("== Design-space exploration for QS1 ==\n");
+    let dataset = smartcity::generate(42, 2000);
+    let query = Query::qs1();
+    println!("query: {query}");
+    println!(
+        "dataset: {} records, measured selectivity {:.3}\n",
+        dataset.len(),
+        query.selectivity(&dataset)
+    );
+
+    let opts = ExploreOptions {
+        techniques: vec![StringTechnique::Substring(1), StringTechnique::Substring(2)],
+        include_string_only: true,
+        include_plain_pairs: true,
+        max_records: 1000,
+        ..ExploreOptions::default()
+    };
+    let points = explore(&query, &dataset, &opts);
+    println!("explored {} configurations", points.len());
+
+    let front = pareto(&points);
+    println!("\nPareto-optimal raw filters (cf. Table VI):\n");
+    println!("{:>6}  {:>5}  configuration", "FPR", "LUTs");
+    for p in &front {
+        println!("{:>6.3}  {:>5}  {}", p.fpr, p.luts, p.notation(&query));
+    }
+
+    // The §IV-A observation: a small FPR allowance saves a lot of LUTs.
+    if let (Some(best), Some(almost)) = (front.last(), front.iter().rev().nth(1)) {
+        println!(
+            "\nlast two rows: FPR {:.3} needs {} LUTs, FPR {:.3} only {} — \
+             \"it may be worthwhile to allow a low FPR to save resources\"",
+            best.fpr, best.luts, almost.fpr, almost.luts
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! IoT gateway scenario (§IV-B): a SmartCity sensor stream arrives at a
+//! gateway; seven parallel raw-filter lanes drop non-matching records
+//! before the CPU parses the survivors.
+//!
+//! Run with: `cargo run -p rfjson-core --example iot_gateway --release`
+
+use rfjson_core::arch::RawFilterSystem;
+use rfjson_core::query::query_to_exprs;
+use rfjson_jsonstream::parse;
+use rfjson_riotbench::{smartcity, Query};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== IoT gateway: filter before you parse ==\n");
+
+    // A day's worth of sensor batches (scaled down for the example).
+    let dataset = smartcity::generate(7, 20_000);
+    let stream = dataset.stream();
+    let query = Query::qs1();
+    println!("stream:  {} records, {:.1} MB", dataset.len(), stream.len() as f64 / 1e6);
+    println!("query:   {query}\n");
+
+    // The raw filter: every attribute as a structural {s1 & v} pair.
+    let expr = query_to_exprs(&query, 1)?;
+    println!("raw filter: {expr}\n");
+
+    // 1) Baseline: parse everything, then evaluate the query.
+    let t0 = Instant::now();
+    let mut baseline_hits = 0usize;
+    for record in dataset.records() {
+        let v = parse(record)?;
+        if query.matches(&v) {
+            baseline_hits += 1;
+        }
+    }
+    let parse_all = t0.elapsed();
+
+    // 2) Gateway: raw filter in the PL, parse only the survivors.
+    let mut system = RawFilterSystem::new(&expr, 7);
+    let t1 = Instant::now();
+    let (matches, report) = system.process(&stream);
+    let filter_time = t1.elapsed();
+    let t2 = Instant::now();
+    let mut gateway_hits = 0usize;
+    for (record, &keep) in dataset.records().iter().zip(&matches) {
+        if keep {
+            let v = parse(record)?;
+            if query.matches(&v) {
+                gateway_hits += 1;
+            }
+        }
+    }
+    let parse_survivors = t2.elapsed();
+
+    assert_eq!(baseline_hits, gateway_hits, "no false negatives: results identical");
+
+    let survivors = matches.iter().filter(|m| **m).count();
+    println!("hardware model: {report}");
+    println!(
+        "                {} of {} records survive ({:.1} % filtered away)",
+        survivors,
+        dataset.len(),
+        100.0 * (1.0 - survivors as f64 / dataset.len() as f64)
+    );
+    println!();
+    println!("CPU time, parse everything:      {parse_all:?}");
+    println!(
+        "CPU time, parse survivors only:  {parse_survivors:?}  (+ {filter_time:?} software-filter time)"
+    );
+    let speedup = parse_all.as_secs_f64() / parse_survivors.as_secs_f64();
+    println!("parser workload reduction:       {speedup:.1}x");
+    println!("\nresults identical: {baseline_hits} matching records either way.");
+    Ok(())
+}

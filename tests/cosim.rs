@@ -1,0 +1,195 @@
+//! Hardware/software co-simulation: every filter expression, elaborated to
+//! a gate-level netlist and simulated cycle-accurately, must produce the
+//! same record decisions as the software evaluator — and the LUT-mapped
+//! form of every netlist must be functionally equivalent to the netlist.
+
+use proptest::prelude::*;
+use rfjson_core::elaborate::elaborate_filter;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::{Expr, StructScope};
+use rfjson_riotbench::{smartcity, taxi, twitter};
+use rfjson_rtl::{BitVec, Netlist, Simulator};
+use rfjson_techmap::aig::Aig;
+use rfjson_techmap::map_aig;
+
+/// Streams records through a filter netlist, sampling the match output at
+/// each newline cycle.
+fn hw_filter_stream(netlist: &Netlist, records: &[&[u8]]) -> Vec<bool> {
+    let mut sim = Simulator::new(netlist).expect("netlist is well-formed");
+    let mut out = Vec::new();
+    for record in records {
+        let mut accept = false;
+        for &b in record.iter().chain(b"\n") {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .expect("byte port exists");
+            sim.settle();
+            accept = sim.output("match").expect("match port exists");
+            sim.clock();
+        }
+        out.push(accept);
+    }
+    out
+}
+
+fn sw_filter_stream(expr: &Expr, records: &[&[u8]]) -> Vec<bool> {
+    let mut f = CompiledFilter::compile(expr);
+    records.iter().map(|r| f.accepts_record(r)).collect()
+}
+
+fn assert_cosim_on(expr: &Expr, records: &[&[u8]]) {
+    let netlist = elaborate_filter(expr, "dut");
+    let hw = hw_filter_stream(&netlist, records);
+    let sw = sw_filter_stream(expr, records);
+    for ((record, h), s) in records.iter().zip(&hw).zip(&sw) {
+        assert_eq!(
+            h,
+            s,
+            "expr `{expr}` diverges on {:?}",
+            String::from_utf8_lossy(record)
+        );
+    }
+}
+
+/// Representative expressions covering every primitive and combinator.
+fn expression_zoo() -> Vec<Expr> {
+    vec![
+        Expr::substring(b"temperature", 1).unwrap(),
+        Expr::substring(b"tolls_amount", 2).unwrap(),
+        Expr::substring(b"dust", 4).unwrap(),
+        Expr::window(b"light").unwrap(),
+        Expr::dfa_string(b"humidity").unwrap(),
+        Expr::int_range(12, 49),
+        Expr::int_range(1345, 26282),
+        Expr::float_range("0.7", "35.1").unwrap(),
+        Expr::float_range("-12.5", "43.1").unwrap(),
+        Expr::and([
+            Expr::substring(b"light", 1).unwrap(),
+            Expr::int_range(1345, 26282),
+        ]),
+        Expr::or([
+            Expr::substring(b"cat", 1).unwrap(),
+            Expr::substring(b"dog", 1).unwrap(),
+        ]),
+        Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]),
+        Expr::context_scoped(
+            StructScope::Member,
+            [
+                Expr::substring(b"tolls_amount", 2).unwrap(),
+                Expr::float_range("2.50", "18.00").unwrap(),
+            ],
+        ),
+        Expr::and([
+            Expr::context([
+                Expr::substring(b"humidity", 1).unwrap(),
+                Expr::float_range("20.3", "69.1").unwrap(),
+            ]),
+            Expr::context([
+                Expr::substring(b"airquality_raw", 1).unwrap(),
+                Expr::int_range(12, 49),
+            ]),
+            Expr::int_range(0, 5153),
+        ]),
+    ]
+}
+
+#[test]
+fn cosim_zoo_on_smartcity() {
+    let ds = smartcity::generate(200, 25);
+    let records: Vec<&[u8]> = ds.records().iter().map(Vec::as_slice).collect();
+    for expr in expression_zoo() {
+        assert_cosim_on(&expr, &records);
+    }
+}
+
+#[test]
+fn cosim_zoo_on_taxi() {
+    let ds = taxi::generate(201, 20);
+    let records: Vec<&[u8]> = ds.records().iter().map(Vec::as_slice).collect();
+    for expr in expression_zoo() {
+        assert_cosim_on(&expr, &records);
+    }
+}
+
+#[test]
+fn cosim_zoo_on_twitter() {
+    let ds = twitter::generate(202, 15);
+    let records: Vec<&[u8]> = ds.records().iter().map(Vec::as_slice).collect();
+    for expr in expression_zoo() {
+        assert_cosim_on(&expr, &records);
+    }
+}
+
+#[test]
+fn mapped_netlists_equivalent_to_source() {
+    // For each zoo expression: AIG of the elaborated netlist vs its
+    // LUT-mapped network on pseudo-random input vectors.
+    for expr in expression_zoo() {
+        let netlist = elaborate_filter(&expr, "dut");
+        let aig = Aig::from_netlist(&netlist);
+        let (report, lutnet) = map_aig(&aig, 6);
+        assert!(report.luts > 0, "expr `{expr}` mapped to nothing");
+        let n = aig.num_inputs();
+        let mut x = 0x243F6A8885A308D3u64 ^ (report.luts as u64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let inputs: Vec<bool> = (0..n).map(|i| (x >> (i % 64)) & 1 == 1).collect();
+            assert_eq!(
+                aig.eval(&inputs),
+                lutnet.eval(&inputs),
+                "expr `{expr}` mapping not equivalent"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised co-simulation: random SenML-ish records against the
+    /// structural temperature filter.
+    #[test]
+    fn cosim_random_senml(
+        temp in 0i32..500,
+        hum in 0i32..1000,
+        extra in "[a-z]{0,8}",
+    ) {
+        let expr = Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]);
+        let record = format!(
+            concat!(
+                "{{\"e\":[",
+                "{{\"v\":\"{}.{}\",\"u\":\"far\",\"n\":\"temperature\"}},",
+                "{{\"v\":\"{}.{}\",\"u\":\"per\",\"n\":\"{}\"}}",
+                "],\"bt\":1}}"
+            ),
+            temp / 10, temp % 10, hum / 10, hum % 10, extra,
+        );
+        let records: Vec<&[u8]> = vec![record.as_bytes()];
+        let netlist = elaborate_filter(&expr, "dut");
+        let hw = hw_filter_stream(&netlist, &records);
+        let sw = sw_filter_stream(&expr, &records);
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// Randomised co-simulation of the number filter on arbitrary numeric
+    /// soup (exercises token boundaries, signs, exponents).
+    #[test]
+    fn cosim_random_numbers(
+        tokens in prop::collection::vec("-?[0-9]{1,5}(\\.[0-9]{1,3})?(e-?[0-9])?", 1..6),
+    ) {
+        let expr = Expr::float_range("-12.5", "43.1").unwrap();
+        let record = format!("{{\"vals\":[{}]}}", tokens.join(","));
+        let records: Vec<&[u8]> = vec![record.as_bytes()];
+        let netlist = elaborate_filter(&expr, "dut");
+        let hw = hw_filter_stream(&netlist, &records);
+        let sw = sw_filter_stream(&expr, &records);
+        prop_assert_eq!(hw, sw);
+    }
+}

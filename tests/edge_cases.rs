@@ -1,0 +1,176 @@
+//! Edge-case integration tests: adversarial records, deep nesting,
+//! malformed input, and state isolation — the situations a raw filter in
+//! front of a 10 GbE feed will inevitably see.
+
+use rfjson_core::arch::RawFilterSystem;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::elaborate::elaborate_filter;
+use rfjson_rtl::{BitVec, Simulator};
+
+fn ctx_filter() -> Expr {
+    Expr::context([
+        Expr::substring(b"temperature", 1).unwrap(),
+        Expr::float_range("0.7", "35.1").unwrap(),
+    ])
+}
+
+#[test]
+fn empty_and_whitespace_records() {
+    let mut f = CompiledFilter::compile(&ctx_filter());
+    assert!(!f.accepts_record(b""));
+    assert!(!f.accepts_record(b"   "));
+    assert!(!f.accepts_record(b"{}"));
+    assert!(!f.accepts_record(b"null"));
+}
+
+#[test]
+fn malformed_json_never_panics_and_never_matches_vacuously() {
+    let mut f = CompiledFilter::compile(&ctx_filter());
+    for record in [
+        &br#"{"e":[{"v":"21.0","n":"temperature""#[..], // truncated
+        br#"}}}}]]]]"#,                                  // unbalanced closers
+        br#"{{{{"#,                                      // unbalanced openers
+        br#""temperature" 21.0"#,                        // bare tokens
+        b"\xff\xfe\x00\x01",                             // binary garbage
+    ] {
+        // Raw filters are structure-agnostic scanners: they must tolerate
+        // any byte soup without panicking. ("temperature" 21.0 legitimately
+        // fires — both primitives co-occur — and that is fine: the parser
+        // rejects it downstream.)
+        let _ = f.accepts_record(record);
+    }
+}
+
+#[test]
+fn brackets_inside_strings_do_not_confuse_contexts() {
+    // A hostile value full of braces must not terminate the measurement
+    // instance early.
+    let mut f = CompiledFilter::compile(&ctx_filter());
+    let rec = br#"{"e":[{"u":"}{][","v":"21.0","n":"temperature"}],"bt":1}"#;
+    assert!(f.accepts_record(rec));
+    // And escaped quotes inside values don't end the string region.
+    let rec2 = br#"{"e":[{"u":"a\"}b","v":"21.0","n":"temperature"}],"bt":1}"#;
+    assert!(f.accepts_record(rec2));
+}
+
+#[test]
+fn deeply_nested_contexts() {
+    // Measurement objects buried under extra array/object layers.
+    let mut f = CompiledFilter::compile(&ctx_filter());
+    let rec = br#"{"data":{"batch":[[{"readings":[{"v":"20.0","n":"temperature"}]}]]}}"#;
+    assert!(f.accepts_record(rec));
+    let rec_out = br#"{"data":{"batch":[[{"readings":[{"v":"99.0","n":"temperature"}]}]]}}"#;
+    assert!(!f.accepts_record(rec_out));
+}
+
+#[test]
+fn values_split_across_sibling_objects_do_not_combine() {
+    let mut f = CompiledFilter::compile(&ctx_filter());
+    // "temperature" in object 1, in-range number in object 2.
+    let rec = br#"{"e":[{"n":"temperature","v":"99"},{"n":"other","v":"20.0"}],"bt":5}"#;
+    assert!(!f.accepts_record(rec));
+}
+
+#[test]
+fn member_scope_same_key_later_value() {
+    let e = Expr::context_scoped(
+        StructScope::Member,
+        [
+            Expr::substring(b"x", 1).unwrap(),
+            Expr::int_range(5, 9),
+        ],
+    );
+    let mut f = CompiledFilter::compile(&e);
+    // Key and value in the same member: accept.
+    assert!(f.accepts_record(br#"{"x":7}"#));
+    // Key in one member, qualifying value only in a later member: reject.
+    assert!(!f.accepts_record(br#"{"x":1,"y":7}"#));
+    // ...unless the key also appears in the later member's key ("xy"
+    // contains 'x' — single-letter needles are approximate by nature).
+    assert!(f.accepts_record(br#"{"a":1,"x_late":7}"#));
+}
+
+#[test]
+fn number_tokens_at_all_boundaries() {
+    let v = Expr::int_range(10, 20);
+    let mut f = CompiledFilter::compile(&v);
+    assert!(f.accepts_record(b"[15]"), "closing bracket boundary");
+    assert!(f.accepts_record(b"{\"a\":15}"), "closing brace boundary");
+    assert!(f.accepts_record(b"[15,99]"), "comma boundary");
+    assert!(f.accepts_record(b"15"), "record-end boundary via newline");
+    assert!(f.accepts_record(b"[99,15]"), "second token");
+    assert!(!f.accepts_record(b"[151]"), "no partial-token match");
+    assert!(!f.accepts_record(b"[1.5e1]") == false, "15 as exponent accepted approximately");
+}
+
+#[test]
+fn stream_with_blank_lines_and_crlf() {
+    let mut f = CompiledFilter::compile(&Expr::int_range(1, 5));
+    let stream = b"{\"a\":3}\r\n\r\n{\"a\":9}\n\n{\"a\":2}";
+    // filter_stream treats \n as separator; \r is part of the record text
+    // but harmless (it is not a number byte, so it ends tokens just like
+    // \n would).
+    let out = f.filter_stream(stream);
+    assert_eq!(out, vec![true, false, true]);
+}
+
+#[test]
+fn hardware_tolerates_malformed_records_too() {
+    let netlist = elaborate_filter(&ctx_filter(), "dut");
+    let mut sim = Simulator::new(&netlist).unwrap();
+    let mut sw = CompiledFilter::compile(&ctx_filter());
+    for record in [
+        &b"}}}{{{"[..],
+        br#"{"e":[{"v":"21.0","n":"temperature"}],"bt":1}"#,
+        b"\x00\x01\x02\xff",
+        br#"{"unclosed":"string"#,
+    ] {
+        let mut hw = false;
+        for &b in record.iter().chain(b"\n") {
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.settle();
+            hw = sim.output("match").unwrap();
+            sim.clock();
+        }
+        assert_eq!(hw, sw.accepts_record(record), "record {record:?}");
+    }
+}
+
+#[test]
+fn single_lane_vs_many_lanes_same_decisions() {
+    let expr = Expr::or([
+        Expr::substring(b"cat", 2).unwrap(),
+        Expr::int_range(100, 200),
+    ]);
+    let stream: Vec<u8> = (0..50)
+        .flat_map(|i| format!("{{\"pet\":\"cat{i}\",\"n\":{}}}\n", i * 7).into_bytes())
+        .collect();
+    let mut one = RawFilterSystem::new(&expr, 1);
+    let mut many = RawFilterSystem::new(&expr, 5);
+    let (m1, _) = one.process(&stream);
+    let (m5, _) = many.process(&stream);
+    assert_eq!(m1, m5, "lane count must not change decisions");
+}
+
+#[test]
+fn or_children_cannot_be_pruned_but_and_can() {
+    // §III-D rule (b): dropping an AND conjunct only adds false positives;
+    // dropping an OR branch would create false negatives. Demonstrate on
+    // concrete records.
+    let a = Expr::substring(b"cat", 2).unwrap();
+    let b = Expr::substring(b"dog", 2).unwrap();
+    let anded = Expr::and([a.clone(), b.clone()]);
+    let ored = Expr::or([a.clone(), b]);
+    let rec_dog = br#"{"pet":"dog"}"#;
+    // AND pruned to `a` alone: anything AND accepted is still accepted.
+    let mut f_and = CompiledFilter::compile(&anded);
+    let mut f_a = CompiledFilter::compile(&a);
+    assert!(!f_and.accepts_record(rec_dog));
+    assert!(!f_a.accepts_record(rec_dog) || f_and.accepts_record(rec_dog));
+    // OR pruned to `a` alone WOULD drop the dog record — the false
+    // negative §III-D forbids:
+    let mut f_or = CompiledFilter::compile(&ored);
+    assert!(f_or.accepts_record(rec_dog));
+    assert!(!f_a.accepts_record(rec_dog), "pruned OR would lose this record");
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of the raw-filter guarantee: **no false
+//! negatives, ever** — plus exactness properties of the supporting
+//! machinery (range automata, string masks, matchers).
+
+use proptest::prelude::*;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::primitive::{
+    exact_end_positions, DfaStringMatcher, FireFilter, SubstringMatcher, WindowMatcher,
+};
+use rfjson_jsonstream::{NestingTracker, StringMask};
+use rfjson_redfa::range::{NumberBounds, NumberKind};
+use rfjson_redfa::Decimal;
+
+/// A SenML-ish record with controllable sensor values.
+fn senml_record(temp_tenths: i32, hum_tenths: i32, aqr: i32) -> Vec<u8> {
+    format!(
+        concat!(
+            "{{\"e\":[",
+            "{{\"v\":\"{}.{}\",\"u\":\"far\",\"n\":\"temperature\"}},",
+            "{{\"v\":\"{}.{}\",\"u\":\"per\",\"n\":\"humidity\"}},",
+            "{{\"v\":\"{}\",\"u\":\"per\",\"n\":\"airquality_raw\"}}",
+            "],\"bt\":1422748800000}}"
+        ),
+        temp_tenths / 10,
+        (temp_tenths % 10).abs(),
+        hum_tenths / 10,
+        (hum_tenths % 10).abs(),
+        aqr,
+    )
+    .into_bytes()
+}
+
+proptest! {
+    /// Any record whose temperature is genuinely within range must be
+    /// accepted by the structural {s1 & v} filter, whatever the other
+    /// sensors do.
+    #[test]
+    fn structural_filter_never_drops_matches(
+        temp in 7i32..351,
+        hum in 0i32..1000,
+        aqr in 0i32..2000,
+    ) {
+        let expr = Expr::context_scoped(StructScope::Object, [
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]);
+        let mut filter = CompiledFilter::compile(&expr);
+        let record = senml_record(temp, hum, aqr);
+        // temp is in tenths: 7..=351 ⇒ 0.7..=35.1 inclusive.
+        prop_assert!(
+            filter.accepts_record(&record),
+            "dropped record with temperature {}.{}",
+            temp / 10, temp % 10
+        );
+    }
+
+    /// Substring matchers never miss a true occurrence, for any needle,
+    /// block length and haystack.
+    #[test]
+    fn substring_matcher_no_false_negatives(
+        needle in "[a-d]{1,6}",
+        haystack in "[a-e \\{\\}:,\"]{0,40}",
+        b in 1usize..6,
+    ) {
+        let needle = needle.as_bytes();
+        let b = b.min(needle.len());
+        let mut m = SubstringMatcher::new(needle, b).unwrap();
+        let hay = haystack.as_bytes();
+        let fires = m.fire_positions(hay);
+        for end in exact_end_positions(hay, needle) {
+            prop_assert!(
+                fires.contains(&end),
+                "B={b} missed occurrence ending at {end}"
+            );
+        }
+    }
+
+    /// Exact matchers (DFA and window) fire exactly at true ends.
+    #[test]
+    fn exact_matchers_are_exact(
+        needle in "[a-c]{1,5}",
+        haystack in "[a-d]{0,30}",
+    ) {
+        let needle_b = needle.as_bytes();
+        let hay = haystack.as_bytes();
+        let want = exact_end_positions(hay, needle_b);
+        let mut dfa = DfaStringMatcher::new(needle_b);
+        let mut win = WindowMatcher::new(needle_b);
+        prop_assert_eq!(dfa.fire_positions(hay), want.clone());
+        prop_assert_eq!(win.fire_positions(hay), want);
+    }
+
+    /// The integer-range automaton accepts exactly the integers in range.
+    #[test]
+    fn int_range_dfa_exact(
+        lo in 0i64..500,
+        width in 0i64..500,
+        probe in 0i64..1200,
+    ) {
+        let hi = lo + width;
+        let bounds = NumberBounds::int_range(lo, hi);
+        let dfa = bounds.to_dfa_exact();
+        let token = probe.to_string();
+        prop_assert_eq!(
+            dfa.accepts(token.as_bytes()),
+            probe >= lo && probe <= hi,
+            "probe {} vs [{}, {}]", probe, lo, hi
+        );
+    }
+
+    /// The decimal-range automaton agrees with exact decimal comparison,
+    /// including negative bounds and fractional probes.
+    #[test]
+    fn float_range_dfa_exact(
+        lo_h in -3000i64..3000,
+        width_h in 0i64..4000,
+        probe_h in -8000i64..8000,
+    ) {
+        // Work in hundredths for exact arithmetic.
+        let fmt = |h: i64| {
+            let sign = if h < 0 { "-" } else { "" };
+            let a = h.abs();
+            if a % 100 == 0 {
+                format!("{sign}{}", a / 100)
+            } else if a % 10 == 0 {
+                format!("{sign}{}.{}", a / 100, (a / 10) % 10)
+            } else {
+                format!("{sign}{}.{:02}", a / 100, a % 100)
+            }
+        };
+        let hi_h = lo_h + width_h;
+        let lo: Decimal = fmt(lo_h).parse().unwrap();
+        let hi: Decimal = fmt(hi_h).parse().unwrap();
+        let bounds = NumberBounds::new(lo, hi, NumberKind::Float).unwrap();
+        let dfa = bounds.to_dfa_exact();
+        let token = fmt(probe_h);
+        prop_assert_eq!(
+            dfa.accepts(token.as_bytes()),
+            probe_h >= lo_h && probe_h <= hi_h,
+            "probe {} vs [{}, {}]", token, fmt(lo_h), fmt(hi_h)
+        );
+    }
+
+    /// The streaming string mask agrees with an oracle computed from the
+    /// parser's view of string literal extents on arbitrary ASCII strings
+    /// embedded in JSON.
+    #[test]
+    fn string_mask_brackets_never_count_inside_strings(
+        payload in "[a-z\\{\\}\\[\\],0-9]{0,20}",
+    ) {
+        // Build {"k":"<payload>","d":[1]} — payload is inside a string, so
+        // whatever brackets it contains, the tracker must end at depth 0
+        // and the array's depth must be 2.
+        let record = format!("{{\"k\":\"{payload}\",\"d\":[1]}}");
+        let mut t = NestingTracker::new();
+        let depths: Vec<u32> = record.bytes().map(|b| t.on_byte(b)).collect();
+        prop_assert_eq!(t.depth(), 0);
+        // The '1' inside the array sits at depth 2.
+        let one_pos = record.rfind('1').unwrap();
+        prop_assert_eq!(depths[one_pos], 2);
+    }
+
+    /// Escape chains of any length are tracked correctly: a string
+    /// containing n backslashes before a quote stays open iff n is odd.
+    #[test]
+    fn escape_chains(n_backslashes in 0usize..12) {
+        let mut s = String::from("\"");
+        for _ in 0..n_backslashes {
+            s.push('\\');
+        }
+        s.push('"');
+        let mut m = StringMask::new();
+        for b in s.bytes() {
+            m.on_byte(b);
+        }
+        prop_assert_eq!(m.in_string(), n_backslashes % 2 == 1);
+    }
+
+    /// Composed AND filters: accept implies every conjunct would accept
+    /// alone (monotonicity of composition).
+    #[test]
+    fn and_composition_monotone(
+        a_lo in 0i64..50,
+        b_lo in 0i64..50,
+        value in 0i64..100,
+    ) {
+        let ea = Expr::int_range(a_lo, a_lo + 25);
+        let eb = Expr::int_range(b_lo, b_lo + 25);
+        let eand = Expr::and([ea.clone(), eb.clone()]);
+        let record = format!("{{\"x\":{value}}}").into_bytes();
+        let and_accepts = CompiledFilter::compile(&eand).accepts_record(&record);
+        let a_accepts = CompiledFilter::compile(&ea).accepts_record(&record);
+        let b_accepts = CompiledFilter::compile(&eb).accepts_record(&record);
+        prop_assert_eq!(and_accepts, a_accepts && b_accepts);
+    }
+
+    /// OR filters accept iff some branch accepts (no pruning possible).
+    #[test]
+    fn or_composition_exact(
+        value in 0i64..100,
+    ) {
+        let ea = Expr::int_range(0, 20);
+        let eb = Expr::int_range(60, 80);
+        let eor = Expr::or([ea.clone(), eb.clone()]);
+        let record = format!("{{\"x\":{value}}}").into_bytes();
+        let or_accepts = CompiledFilter::compile(&eor).accepts_record(&record);
+        let a = CompiledFilter::compile(&ea).accepts_record(&record);
+        let b = CompiledFilter::compile(&eb).accepts_record(&record);
+        prop_assert_eq!(or_accepts, a || b);
+    }
+}
