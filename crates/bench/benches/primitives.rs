@@ -17,8 +17,14 @@ fn primitive_throughput(c: &mut Criterion) {
     group.sample_size(15);
 
     let cases: Vec<(&str, Expr)> = vec![
-        ("s1_temperature", Expr::substring(b"temperature", 1).unwrap()),
-        ("s2_temperature", Expr::substring(b"temperature", 2).unwrap()),
+        (
+            "s1_temperature",
+            Expr::substring(b"temperature", 1).unwrap(),
+        ),
+        (
+            "s2_temperature",
+            Expr::substring(b"temperature", 2).unwrap(),
+        ),
         ("window_temperature", Expr::window(b"temperature").unwrap()),
         ("dfa_temperature", Expr::dfa_string(b"temperature").unwrap()),
         ("v_12_49", Expr::int_range(12, 49)),

@@ -41,7 +41,10 @@ fn main() {
     );
 
     println!("\nAblation 2 — widening range-filter bounds to fewer significant digits\n");
-    println!("{:<18} {:>6} {:>8}   configuration", "precision", "LUTs", "FPR");
+    println!(
+        "{:<18} {:>6} {:>8}   configuration",
+        "precision", "LUTs", "FPR"
+    );
     let q = Query::qs1();
     for digits in [0usize, 1, 2] {
         // Attribute 3 = dust (186.61 ≤ f ≤ 5188.21), the costliest automaton.
@@ -78,7 +81,10 @@ fn ablate_infix(
     scope: StructScope,
 ) {
     println!("  {title}");
-    println!("  {:<18} {:>4} {:>6} {:>8} {:>4}", "infix", "len", "LUTs", "FPR", "FN");
+    println!(
+        "  {:<18} {:>4} {:>6} {:>8} {:>4}",
+        "infix", "len", "LUTs", "FPR", "FN"
+    );
     let pred = &query.predicates[pred_idx];
     let full = pred.attribute.as_bytes();
     let bounds = predicate_bounds(pred).expect("valid");

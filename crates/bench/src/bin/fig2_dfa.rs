@@ -30,7 +30,10 @@ fn main() {
     for (name, b) in [
         ("v(12 <= i <= 49)", NumberBounds::int_range(12, 49)),
         ("v(0 <= i <= 5153)", NumberBounds::int_range(0, 5153)),
-        ("v(1345 <= i <= 26282)", NumberBounds::int_range(1345, 26282)),
+        (
+            "v(1345 <= i <= 26282)",
+            NumberBounds::int_range(1345, 26282),
+        ),
         ("v(140 <= i <= 3155)", NumberBounds::int_range(140, 3155)),
         (
             "v(0.7 <= f <= 35.1)",
@@ -59,7 +62,11 @@ fn main() {
             "{name:<28} {:>6} {:>8} {:>8}",
             d.num_states(),
             d.num_classes(),
-            if d.accepts(mid.as_bytes()) { "mid ok" } else { "mid ??" },
+            if d.accepts(mid.as_bytes()) {
+                "mid ok"
+            } else {
+                "mid ??"
+            },
         );
     }
 

@@ -38,7 +38,11 @@ fn main() {
             report.gigabytes_per_second,
             report.theoretical_gbps,
             report.efficiency() * 100.0,
-            if report.sustains_10gbe() { "yes" } else { "no " },
+            if report.sustains_10gbe() {
+                "yes"
+            } else {
+                "no "
+            },
             sw_mbps,
         );
         if lanes == 7 {

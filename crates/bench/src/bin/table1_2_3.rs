@@ -14,7 +14,11 @@ use rfjson_riotbench::Dataset;
 
 fn main() {
     let (smartcity, taxi, twitter) = standard_datasets();
-    run_table("Table I — SmartCity dataset", &SMARTCITY_NEEDLES, &smartcity);
+    run_table(
+        "Table I — SmartCity dataset",
+        &SMARTCITY_NEEDLES,
+        &smartcity,
+    );
     run_table("Table II — Taxi dataset", &TAXI_NEEDLES, &taxi);
     run_table("Table III — Twitter dataset", &TWITTER_NEEDLES, &twitter);
     println!("\nFPR here is positional: a record counts as a false positive when the");

@@ -51,7 +51,11 @@ pub fn structure_cost() -> ResourceReport {
 /// structural signals, plus one LUT of glue per 5 extra conjuncts.
 pub fn additive_cost(option_costs: &[ResourceReport], any_structural: bool) -> usize {
     let options: usize = option_costs.iter().map(|r| r.luts).sum();
-    let structure = if any_structural { structure_cost().luts } else { 0 };
+    let structure = if any_structural {
+        structure_cost().luts
+    } else {
+        0
+    };
     let glue = if option_costs.len() > 1 {
         1 + (option_costs.len().saturating_sub(2)) / (LUT_K - 1)
     } else {

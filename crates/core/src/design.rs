@@ -224,9 +224,8 @@ pub fn explore(query: &Query, dataset: &Dataset, opts: &ExploreOptions) -> Vec<D
     let num_attrs = query.predicates.len();
     let radix = menu.len() + 1;
     let total: usize = radix.pow(num_attrs as u32);
-    let eval_of = |attr: usize, opt_idx: usize| -> &OptionEval {
-        &evals[attr * menu.len() + opt_idx]
-    };
+    let eval_of =
+        |attr: usize, opt_idx: usize| -> &OptionEval { &evals[attr * menu.len() + opt_idx] };
     // Verify the eval table layout.
     debug_assert!(evals
         .iter()
@@ -381,10 +380,7 @@ mod tests {
         }
         // No point in the cloud dominates a front point.
         for fp in &front {
-            assert!(!points
-                .iter()
-                .any(|p| p.luts < fp.luts && p.fpr < fp.fpr
-                    || (p.luts <= fp.luts && p.fpr < fp.fpr)));
+            assert!(!points.iter().any(|p| p.luts <= fp.luts && p.fpr < fp.fpr));
         }
     }
 

@@ -332,13 +332,16 @@ fn build_substring_fire(
     b: usize,
     sig: &StreamSignals,
 ) -> NodeId {
-    let matcher =
-        SubstringMatcher::new(&spec.needle, b).expect("expression was validated before");
+    let matcher = SubstringMatcher::new(&spec.needle, b).expect("expression was validated before");
     let window_match = if b == 1 {
         // B = 1: the whole comparator bank is one byte-set membership —
         // the "entire logic combined in one LUT" effect of §III-A.
         let set = ByteSet::from_bytes(
-            &matcher.blocks().iter().map(|blk| blk[0]).collect::<Vec<u8>>(),
+            &matcher
+                .blocks()
+                .iter()
+                .map(|blk| blk[0])
+                .collect::<Vec<u8>>(),
         );
         byte_in_set(n, &sig.byte, &set)
     } else {
@@ -436,7 +439,8 @@ mod tests {
         let mut sim = Simulator::new(netlist).unwrap();
         let mut accept = false;
         for &b in record.iter().chain(b"\n") {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.settle();
             accept = sim.output("match").unwrap();
             sim.clock();
@@ -584,7 +588,8 @@ mod tests {
         let mut sim = Simulator::new(&netlist).unwrap();
         let mut accepts = Vec::new();
         for &b in b"{\"k\":\"a\"}\n{\"k\":\"b\"}\n".iter() {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.settle();
             if b == b'\n' {
                 accepts.push(sim.output("match").unwrap());
@@ -598,10 +603,7 @@ mod tests {
 
     #[test]
     fn option_netlist_has_structure_inputs() {
-        let expr = Expr::context([
-            Expr::substring(b"x", 1).unwrap(),
-            Expr::int_range(0, 5),
-        ]);
+        let expr = Expr::context([Expr::substring(b"x", 1).unwrap(), Expr::int_range(0, 5)]);
         let n = elaborate_option(&expr, "opt");
         assert!(n.find_input("depth[0]").is_some());
         assert!(n.find_input("is_close").is_some());

@@ -108,11 +108,7 @@ pub fn measure(expr: &Expr, dataset: &Dataset, query: &Query) -> Measurement {
 /// Positional FPR of a string matcher (Tables I–III): the fraction of
 /// records in which the matcher fires at least once at a byte position
 /// where `needle` does not actually end.
-pub fn positional_fpr(
-    matcher: &mut dyn FireFilter,
-    needle: &[u8],
-    dataset: &Dataset,
-) -> f64 {
+pub fn positional_fpr(matcher: &mut dyn FireFilter, needle: &[u8], dataset: &Dataset) -> f64 {
     if dataset.is_empty() {
         return 0.0;
     }

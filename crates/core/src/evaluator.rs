@@ -140,7 +140,9 @@ impl Prim {
 #[derive(Debug, Clone)]
 enum EvalNode {
     Prim {
-        prim: Prim,
+        // Boxed: a Prim (matcher state) is ~450 bytes, far larger than the
+        // other variants' Vec headers.
+        prim: Box<Prim>,
         fired: bool,
     },
     And {
@@ -163,11 +165,11 @@ impl EvalNode {
     fn compile(expr: &Expr) -> EvalNode {
         match expr {
             Expr::Str(spec) => EvalNode::Prim {
-                prim: Prim::of_spec(spec),
+                prim: Box::new(Prim::of_spec(spec)),
                 fired: false,
             },
             Expr::Num(bounds) => EvalNode::Prim {
-                prim: Prim::Num(NumberMatcher::new(bounds.clone())),
+                prim: Box::new(Prim::Num(NumberMatcher::new(bounds.clone()))),
                 fired: false,
             },
             Expr::And(cs) => EvalNode::And {
@@ -463,13 +465,13 @@ mod tests {
         );
         let mut f = CompiledFilter::compile(&e);
         // tolls out of range, but fare in range: member scoping must reject.
-        assert!(!f.accepts_record(
-            br#"{"fare_amount":11.50,"tolls_amount":0.00,"total_amount":12.00}"#
-        ));
+        assert!(
+            !f.accepts_record(br#"{"fare_amount":11.50,"tolls_amount":0.00,"total_amount":12.00}"#)
+        );
         // tolls genuinely in range: accept.
-        assert!(f.accepts_record(
-            br#"{"fare_amount":11.50,"tolls_amount":5.33,"total_amount":17.33}"#
-        ));
+        assert!(
+            f.accepts_record(br#"{"fare_amount":11.50,"tolls_amount":5.33,"total_amount":17.33}"#)
+        );
         // Object scope, by contrast, produces the false positive:
         let e2 = Expr::context_scoped(
             StructScope::Object,
@@ -479,9 +481,9 @@ mod tests {
             ],
         );
         let mut f2 = CompiledFilter::compile(&e2);
-        assert!(f2.accepts_record(
-            br#"{"fare_amount":11.50,"tolls_amount":0.00,"total_amount":12.00}"#
-        ));
+        assert!(
+            f2.accepts_record(br#"{"fare_amount":11.50,"tolls_amount":0.00,"total_amount":12.00}"#)
+        );
     }
 
     #[test]
@@ -491,10 +493,7 @@ mod tests {
         // clear (set → evaluate → clear ordering).
         let e = Expr::context_scoped(
             StructScope::Member,
-            [
-                Expr::substring(b"x", 1).unwrap(),
-                Expr::int_range(1, 5),
-            ],
+            [Expr::substring(b"x", 1).unwrap(), Expr::int_range(1, 5)],
         );
         let mut f = CompiledFilter::compile(&e);
         assert!(f.accepts_record(br#"{"x":3,"y":99}"#));
@@ -551,10 +550,7 @@ mod tests {
     #[test]
     fn tracker_depth_and_commas() {
         let mut t = StreamTracker::new();
-        let infos: Vec<ByteInfo> = br#"{"a":[1,2],"b":3}"#
-            .iter()
-            .map(|&b| t.on_byte(b))
-            .collect();
+        let infos: Vec<ByteInfo> = br#"{"a":[1,2],"b":3}"#.iter().map(|&b| t.on_byte(b)).collect();
         // The comma between 1 and 2 is at depth 2; the one after ']' is at
         // depth 1.
         let commas: Vec<u32> = infos

@@ -210,10 +210,7 @@ impl Expr {
     }
 
     /// `{ … }` structural context with an explicit scope.
-    pub fn context_scoped(
-        scope: StructScope,
-        children: impl IntoIterator<Item = Expr>,
-    ) -> Expr {
+    pub fn context_scoped(scope: StructScope, children: impl IntoIterator<Item = Expr>) -> Expr {
         Expr::Ctx(children.into_iter().collect(), scope)
     }
 
@@ -384,10 +381,7 @@ mod tests {
     #[test]
     fn counting_helpers() {
         let e = Expr::and([
-            Expr::context([
-                Expr::substring(b"a", 1).unwrap(),
-                Expr::int_range(0, 1),
-            ]),
+            Expr::context([Expr::substring(b"a", 1).unwrap(), Expr::int_range(0, 1)]),
             Expr::int_range(2, 3),
         ]);
         assert_eq!(e.num_primitives(), 3);

@@ -78,7 +78,7 @@ impl FireFilter for NumberMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfjson_redfa::range::{NumberKind};
+    use rfjson_redfa::range::NumberKind;
     use rfjson_redfa::Decimal;
 
     fn float_bounds(lo: &str, hi: &str) -> NumberBounds {

@@ -38,10 +38,7 @@ impl DfaStringMatcher {
     /// Panics if `needle` is empty.
     pub fn new(needle: &[u8]) -> Self {
         assert!(!needle.is_empty(), "needle must not be empty");
-        let re = Regex::concat([
-            Regex::Class(ByteSet::full()).star(),
-            Regex::literal(needle),
-        ]);
+        let re = Regex::concat([Regex::Class(ByteSet::full()).star(), Regex::literal(needle)]);
         let dfa = Dfa::from_regex(&re).minimized();
         let state = dfa.start();
         DfaStringMatcher {

@@ -67,7 +67,10 @@ impl fmt::Display for SubstringError {
         match self {
             SubstringError::EmptyNeedle => write!(f, "needle must not be empty"),
             SubstringError::BadBlockLength { b, needle_len } => {
-                write!(f, "block length {b} invalid for needle of {needle_len} bytes")
+                write!(
+                    f,
+                    "block length {b} invalid for needle of {needle_len} bytes"
+                )
             }
             SubstringError::NulInNeedle => write!(f, "needle must not contain NUL"),
         }
@@ -169,9 +172,9 @@ impl SubstringMatcher {
 
     fn window_matches(&self) -> bool {
         let n = self.buffer.len();
-        self.blocks.iter().any(|blk| {
-            (0..n).all(|i| self.buffer[(self.head + i) % n] == blk[i])
-        })
+        self.blocks
+            .iter()
+            .any(|blk| (0..n).all(|i| self.buffer[(self.head + i) % n] == blk[i]))
     }
 }
 

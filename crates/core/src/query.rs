@@ -82,10 +82,9 @@ pub fn attr_expr(
     Ok(match option {
         AttrOption::Value => value_expr,
         AttrOption::Str(t) => string_expr(t)?,
-        AttrOption::StructPair(t) => Expr::context_scoped(
-            scope_for(query.shape),
-            [string_expr(t)?, value_expr],
-        ),
+        AttrOption::StructPair(t) => {
+            Expr::context_scoped(scope_for(query.shape), [string_expr(t)?, value_expr])
+        }
         AttrOption::PlainPair(t) => Expr::and([string_expr(t)?, value_expr]),
     })
 }
@@ -100,7 +99,11 @@ pub fn attr_expr(
 pub fn query_to_exprs(query: &Query, b: usize) -> Result<Expr, ExprError> {
     let mut parts = Vec::new();
     for p in &query.predicates {
-        parts.push(attr_expr(query, p, AttrOption::StructPair(StringTechnique::Substring(b)))?);
+        parts.push(attr_expr(
+            query,
+            p,
+            AttrOption::StructPair(StringTechnique::Substring(b)),
+        )?);
     }
     Ok(Expr::and(parts))
 }
@@ -134,12 +137,13 @@ mod tests {
         assert_eq!(v.to_string(), "v(2.5 ≤ f ≤ 18)");
         let s = attr_expr(&q, p, AttrOption::Str(StringTechnique::Substring(2))).unwrap();
         assert_eq!(s.to_string(), "s2(\"tolls_amount\")");
-        let pair = attr_expr(&q, p, AttrOption::StructPair(StringTechnique::Substring(2)))
-            .unwrap();
-        assert_eq!(pair.to_string(), "{ s2(\"tolls_amount\") & v(2.5 ≤ f ≤ 18) }");
+        let pair = attr_expr(&q, p, AttrOption::StructPair(StringTechnique::Substring(2))).unwrap();
+        assert_eq!(
+            pair.to_string(),
+            "{ s2(\"tolls_amount\") & v(2.5 ≤ f ≤ 18) }"
+        );
         assert!(pair.has_context());
-        let plain = attr_expr(&q, p, AttrOption::PlainPair(StringTechnique::Substring(2)))
-            .unwrap();
+        let plain = attr_expr(&q, p, AttrOption::PlainPair(StringTechnique::Substring(2))).unwrap();
         assert!(!plain.has_context());
     }
 

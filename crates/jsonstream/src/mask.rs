@@ -138,9 +138,9 @@ mod tests {
         // Even numbers of backslashes don't escape the closing quote;
         // odd numbers do.
         for (s, closed) in [
-            (&br#""\\""#[..], true),   // "\\"  -> closed
-            (br#""\\\""#, false),      // "\\\" -> still open (quote escaped)
-            (br#""\\\\""#, true),      // "\\\\" -> closed
+            (&br#""\\""#[..], true), // "\\"  -> closed
+            (br#""\\\""#, false),    // "\\\" -> still open (quote escaped)
+            (br#""\\\\""#, true),    // "\\\\" -> closed
         ] {
             let mut m = StringMask::new();
             for &b in s.iter() {

@@ -19,7 +19,11 @@ pub struct ParseJsonError {
 
 impl fmt::Display for ParseJsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -198,15 +202,11 @@ impl<'a> Parser<'a> {
                                 return Err(self.err("invalid low surrogate"));
                             }
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                            out.push(
-                                char::from_u32(c).ok_or_else(|| self.err("bad code point"))?,
-                            );
+                            out.push(char::from_u32(c).ok_or_else(|| self.err("bad code point"))?);
                         } else if (0xDC00..=0xDFFF).contains(&cp) {
                             return Err(self.err("unpaired low surrogate"));
                         } else {
-                            out.push(
-                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?,
-                            );
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
                         }
                     }
                     Some(c) => return Err(self.err(format!("bad escape `\\{}`", c as char))),
@@ -231,7 +231,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let d = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let x = match d {
                 b'0'..=b'9' => u32::from(d - b'0'),
                 b'a'..=b'f' => u32::from(d - b'a' + 10),
@@ -282,8 +284,8 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("number bytes are ascii");
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.err("number out of range"))
@@ -378,7 +380,10 @@ mod tests {
     #[test]
     fn whitespace_tolerance() {
         let v = parse(b" { \"a\" : [ 1 , 2 ] } \n").unwrap();
-        assert_eq!(v.get("a").and_then(|a| a.index(1)), Some(&Value::Number(2.0)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.index(1)),
+            Some(&Value::Number(2.0))
+        );
     }
 
     #[test]

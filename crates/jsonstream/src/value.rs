@@ -139,7 +139,12 @@ mod tests {
     use super::*;
 
     fn obj(pairs: &[(&str, Value)]) -> Value {
-        Value::Object(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
     }
 
     #[test]
@@ -152,9 +157,16 @@ mod tests {
         ]);
         assert_eq!(v.get("n").and_then(Value::as_str), Some("temperature"));
         assert_eq!(v.get("raw").and_then(Value::as_f64), Some(7.5));
-        assert_eq!(v.get("v").and_then(Value::as_f64), None, "string is not f64");
+        assert_eq!(
+            v.get("v").and_then(Value::as_f64),
+            None,
+            "string is not f64"
+        );
         assert_eq!(v.get("v").and_then(Value::as_numeric), Some(35.2));
-        assert_eq!(v.get("tags").and_then(|t| t.index(1)), Some(&Value::Number(2.0)));
+        assert_eq!(
+            v.get("tags").and_then(|t| t.index(1)),
+            Some(&Value::Number(2.0))
+        );
         assert_eq!(v.get("missing"), None);
         assert!(Value::Null.is_null());
     }

@@ -19,9 +19,8 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..5).prop_map(|pairs| {
-                Value::Object(pairs.into_iter().map(|(k, v)| (k, v)).collect())
-            }),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..5)
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
         ]
     })
 }

@@ -310,7 +310,9 @@ impl Dfa {
         let mut old_to_new: Vec<u8> = vec![0; self.num_classes];
         let mut new_cols: Vec<Vec<u16>> = Vec::new();
         for (c, slot) in old_to_new.iter_mut().enumerate() {
-            let col: Vec<u16> = (0..n).map(|s| self.trans[s * self.num_classes + c]).collect();
+            let col: Vec<u16> = (0..n)
+                .map(|s| self.trans[s * self.num_classes + c])
+                .collect();
             *slot = *col_index.entry(col.clone()).or_insert_with(|| {
                 new_cols.push(col);
                 u8::try_from(new_cols.len() - 1).expect("≤256 classes")

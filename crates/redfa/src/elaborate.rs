@@ -105,7 +105,10 @@ pub fn elaborate_dfa(
             if t == 0 {
                 continue; // all-zero target needs no products
             }
-            by_target.entry(t).or_default().push(class_match[c as usize]);
+            by_target
+                .entry(t)
+                .or_default()
+                .push(class_match[c as usize]);
         }
         let mut targets: Vec<(u64, Vec<NodeId>)> = by_target.into_iter().collect();
         targets.sort_by_key(|(t, _)| *t);
@@ -177,7 +180,8 @@ mod tests {
         sim.set_input("advance", true).unwrap();
         sim.set_input("reset", false).unwrap();
         for &b in input {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.clock();
         }
         sim.output("accept").unwrap()
@@ -212,16 +216,22 @@ mod tests {
         sim.set_input("reset", false).unwrap();
         // Feed 'a' with advance, then junk without advance, then 'b'.
         sim.set_input("advance", true).unwrap();
-        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8)).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8))
+            .unwrap();
         sim.clock();
         sim.set_input("advance", false).unwrap();
-        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'z'), 8)).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'z'), 8))
+            .unwrap();
         sim.clock();
         sim.clock();
         sim.set_input("advance", true).unwrap();
-        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8)).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8))
+            .unwrap();
         sim.clock();
-        assert!(sim.output("accept").unwrap(), "junk was ignored while advance=0");
+        assert!(
+            sim.output("accept").unwrap(),
+            "junk was ignored while advance=0"
+        );
     }
 
     #[test]
@@ -232,7 +242,8 @@ mod tests {
         sim.set_input("advance", true).unwrap();
         sim.set_input("reset", false).unwrap();
         for &b in b"ab" {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.clock();
         }
         assert!(sim.output("accept").unwrap());
@@ -242,7 +253,8 @@ mod tests {
         assert!(!sim.output("accept").unwrap());
         // And the automaton works again after reset.
         for &b in b"ab" {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.clock();
         }
         assert!(sim.output("accept").unwrap());
@@ -263,12 +275,17 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         sim.set_input("advance", true).unwrap();
         sim.set_input("reset", false).unwrap();
-        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8)).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'a'), 8))
+            .unwrap();
         sim.clock();
-        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8)).unwrap();
+        sim.set_input_word("byte", &BitVec::from_u64(u64::from(b'b'), 8))
+            .unwrap();
         sim.settle();
         assert!(!sim.output("accept").unwrap(), "registered accept lags");
-        assert!(sim.output("accept_next").unwrap(), "combinational verdict now");
+        assert!(
+            sim.output("accept_next").unwrap(),
+            "combinational verdict now"
+        );
         sim.clock();
         assert!(sim.output("accept").unwrap());
     }

@@ -74,11 +74,7 @@ impl Decimal {
     /// The integer `value` as a decimal.
     pub fn from_int(value: i64) -> Decimal {
         let mag = value.unsigned_abs();
-        let digits: Vec<u8> = mag
-            .to_string()
-            .bytes()
-            .map(|b| b - b'0')
-            .collect();
+        let digits: Vec<u8> = mag.to_string().bytes().map(|b| b - b'0').collect();
         Decimal {
             negative: value < 0,
             int_digits: digits,
@@ -308,7 +304,10 @@ pub fn ge_regex(bound: &Decimal) -> Regex {
 /// Integer-only variant of [`ge_regex`]: fractions are not matched, giving
 /// exactly the automaton of Fig. 2 for integer attributes.
 pub fn ge_int_regex(bound: &Decimal) -> Regex {
-    assert!(!bound.is_negative(), "ge_int_regex needs a non-negative bound");
+    assert!(
+        !bound.is_negative(),
+        "ge_int_regex needs a non-negative bound"
+    );
     debug_assert!(!bound.has_fraction(), "integer bound expected");
     ge_regex_inner(bound, false)
 }
@@ -318,7 +317,11 @@ fn ge_regex_inner(bound: &Decimal, allow_fraction: bool) -> Regex {
     let p = i.len();
     let f = &bound.frac_digits;
     let q = f.len();
-    let frac_opt = if allow_fraction { any_fraction_opt() } else { Regex::Eps };
+    let frac_opt = if allow_fraction {
+        any_fraction_opt()
+    } else {
+        Regex::Eps
+    };
     let mut alts: Vec<Regex> = Vec::new();
 
     // Step 1.3 of Fig. 2: integer part with more digits is always greater.
@@ -388,7 +391,10 @@ pub fn le_regex(bound: &Decimal) -> Regex {
 
 /// Integer-only variant of [`le_regex`].
 pub fn le_int_regex(bound: &Decimal) -> Regex {
-    assert!(!bound.is_negative(), "le_int_regex needs a non-negative bound");
+    assert!(
+        !bound.is_negative(),
+        "le_int_regex needs a non-negative bound"
+    );
     debug_assert!(!bound.has_fraction(), "integer bound expected");
     le_regex_inner(bound, false)
 }
@@ -398,7 +404,11 @@ fn le_regex_inner(bound: &Decimal, allow_fraction: bool) -> Regex {
     let p = i.len();
     let f = &bound.frac_digits;
     let q = f.len();
-    let frac_opt = if allow_fraction { any_fraction_opt() } else { Regex::Eps };
+    let frac_opt = if allow_fraction {
+        any_fraction_opt()
+    } else {
+        Regex::Eps
+    };
     let mut alts: Vec<Regex> = Vec::new();
 
     // Integer part with fewer digits is always smaller:
@@ -460,10 +470,7 @@ fn le_regex_inner(bound: &Decimal, allow_fraction: bool) -> Regex {
             for prefix in 1..q {
                 fr.push(literal_digits(&f[..prefix]));
             }
-            fr.push(Regex::concat([
-                literal_digits(f),
-                Regex::byte(b'0').star(),
-            ]));
+            fr.push(Regex::concat([literal_digits(f), Regex::byte(b'0').star()]));
             alts.push(Regex::concat([
                 int_exact,
                 Regex::byte(b'.'),
@@ -570,8 +577,12 @@ impl NumberBounds {
     ///
     /// Panics if `lo > hi`.
     pub fn int_range(lo: i64, hi: i64) -> NumberBounds {
-        NumberBounds::new(Decimal::from_int(lo), Decimal::from_int(hi), NumberKind::Integer)
-            .expect("integer bounds are canonical")
+        NumberBounds::new(
+            Decimal::from_int(lo),
+            Decimal::from_int(hi),
+            NumberKind::Integer,
+        )
+        .expect("integer bounds are canonical")
     }
 
     /// Lower bound.
@@ -627,14 +638,22 @@ impl NumberBounds {
         let mut branches: Vec<Dfa> = Vec::new();
         // Positive branch: tokens without sign, max(lo,0) ≤ v ≤ hi.
         if !self.hi.is_negative() {
-            let lo_pos = if self.lo.is_negative() { &zero } else { &self.lo };
+            let lo_pos = if self.lo.is_negative() {
+                &zero
+            } else {
+                &self.lo
+            };
             let d_ge = Dfa::from_regex(&ge(lo_pos));
             let d_le = Dfa::from_regex(&le(&self.hi));
             branches.push(d_ge.intersect(&d_le));
         }
         // Negative branch: '-' then magnitude max(-hi,0) ≤ m ≤ -lo.
         if self.lo.is_negative() {
-            let min_mag = if self.hi.is_negative() { self.hi.abs() } else { zero.clone() };
+            let min_mag = if self.hi.is_negative() {
+                self.hi.abs()
+            } else {
+                zero.clone()
+            };
             let max_mag = self.lo.abs();
             let minus = Regex::byte(b'-');
             let d_ge = Dfa::from_regex(&Regex::concat([minus.clone(), ge(&min_mag)]));
@@ -642,7 +661,9 @@ impl NumberBounds {
             branches.push(d_ge.intersect(&d_le));
         }
         let mut it = branches.into_iter();
-        let first = it.next().expect("at least one branch: lo ≤ hi guarantees overlap");
+        let first = it
+            .next()
+            .expect("at least one branch: lo ≤ hi guarantees overlap");
         it.fold(first, |acc, d| acc.union(&d)).minimized()
     }
 
@@ -852,7 +873,12 @@ mod tests {
             (b"43.2", false),
             (b"-12.49", true),
         ] {
-            assert_eq!(dfa.accepts(tok), want, "token {:?}", std::str::from_utf8(tok));
+            assert_eq!(
+                dfa.accepts(tok),
+                want,
+                "token {:?}",
+                std::str::from_utf8(tok)
+            );
         }
     }
 

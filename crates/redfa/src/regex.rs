@@ -46,7 +46,10 @@ pub enum Regex {
 impl Regex {
     /// Literal byte string.
     pub fn literal(s: &[u8]) -> Regex {
-        let parts: Vec<Regex> = s.iter().map(|&b| Regex::Class(ByteSet::from_byte(b))).collect();
+        let parts: Vec<Regex> = s
+            .iter()
+            .map(|&b| Regex::Class(ByteSet::from_byte(b)))
+            .collect();
         match parts.len() {
             0 => Regex::Eps,
             1 => parts.into_iter().next().expect("len checked"),
@@ -255,7 +258,11 @@ pub struct ParseRegexError {
 
 impl fmt::Display for ParseRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -566,9 +573,18 @@ mod tests {
 
     #[test]
     fn smart_constructors_simplify() {
-        assert_eq!(Regex::concat([Regex::Eps, Regex::byte(b'a')]), Regex::byte(b'a'));
-        assert_eq!(Regex::concat([Regex::Empty, Regex::byte(b'a')]), Regex::Empty);
-        assert_eq!(Regex::alt([Regex::Empty, Regex::byte(b'a')]), Regex::byte(b'a'));
+        assert_eq!(
+            Regex::concat([Regex::Eps, Regex::byte(b'a')]),
+            Regex::byte(b'a')
+        );
+        assert_eq!(
+            Regex::concat([Regex::Empty, Regex::byte(b'a')]),
+            Regex::Empty
+        );
+        assert_eq!(
+            Regex::alt([Regex::Empty, Regex::byte(b'a')]),
+            Regex::byte(b'a')
+        );
         assert_eq!(Regex::Eps.star(), Regex::Eps);
         assert_eq!(Regex::Empty.plus(), Regex::Empty);
         assert_eq!(Regex::literal(b""), Regex::Eps);

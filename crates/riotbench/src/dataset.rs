@@ -112,10 +112,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::new(
-            "toy",
-            vec![br#"{"a":1}"#.to_vec(), br#"{"a":2}"#.to_vec()],
-        )
+        Dataset::new("toy", vec![br#"{"a":1}"#.to_vec(), br#"{"a":2}"#.to_vec()])
     }
 
     #[test]

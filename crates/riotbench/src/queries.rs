@@ -48,12 +48,16 @@ impl RangePredicate {
 
     /// Lower bound as `f64` (ground-truth comparisons).
     pub fn lo_f64(&self) -> f64 {
-        self.lo.parse().expect("predicate bounds are decimal literals")
+        self.lo
+            .parse()
+            .expect("predicate bounds are decimal literals")
     }
 
     /// Upper bound as `f64`.
     pub fn hi_f64(&self) -> f64 {
-        self.hi.parse().expect("predicate bounds are decimal literals")
+        self.hi
+            .parse()
+            .expect("predicate bounds are decimal literals")
     }
 
     /// Is `v` within bounds?

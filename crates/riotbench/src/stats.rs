@@ -69,7 +69,10 @@ pub fn predicate_pass_rates(dataset: &Dataset, query: &Query) -> Vec<(String, f6
                         .is_some_and(|v| p.contains(v))
                 })
                 .count();
-            (p.attribute.clone(), hits as f64 / parsed.len().max(1) as f64)
+            (
+                p.attribute.clone(),
+                hits as f64 / parsed.len().max(1) as f64,
+            )
         })
         .collect()
 }

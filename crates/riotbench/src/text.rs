@@ -12,32 +12,231 @@ use rand::Rng;
 
 /// Common-word vocabulary (plus a few names) used to synthesise tweets.
 pub const VOCABULARY: &[&str] = &[
-    "the", "be", "to", "of", "and", "a", "in", "that", "have", "it", "for", "not", "on", "with",
-    "he", "as", "you", "do", "at", "this", "but", "his", "by", "from", "they", "we", "say", "her",
-    "she", "or", "an", "will", "my", "one", "all", "would", "there", "their", "what", "so", "up",
-    "out", "if", "about", "who", "get", "which", "go", "me", "when", "make", "can", "like",
-    "time", "no", "just", "him", "know", "take", "people", "into", "year", "your", "good",
-    "some", "could", "them", "see", "other", "than", "then", "now", "look", "only", "come",
-    "its", "over", "think", "also", "back", "after", "use", "two", "how", "our", "work",
-    "first", "well", "way", "even", "new", "want", "because", "any", "these", "give", "day",
-    "most", "us", "great", "morning", "night", "today", "tomorrow", "love", "hate", "really",
-    "very", "happy", "sad", "tired", "excited", "sure", "maybe", "never", "always", "again",
-    "still", "home", "school", "music", "movie", "game", "team", "play", "watch", "read",
-    "write", "listen", "weather", "rain", "sunny", "coffee", "lunch", "dinner", "breakfast",
-    "friend", "family", "weekend", "monday", "friday", "sunday", "party", "birthday", "national",
-    "station", "nation", "notation", "banana", "anna", "alan", "gala", "angle", "signal",
-    "annual", "manual", "casual", "usual", "visual", "channel", "planner", "scanner", "analog",
-    "catalog", "dialog", "total", "local", "vocal", "final", "canal", "loan", "alone", "along",
-    "among", "strong", "wrong", "song", "long", "gone", "done", "none", "bone", "zone", "users",
-    "reuse", "excuse", "because", "house", "mouse", "pause", "cause", "amuse", "museum",
-    "serious", "curious", "furious", "various", "obvious", "jealous", "nervous", "famous",
+    "the",
+    "be",
+    "to",
+    "of",
+    "and",
+    "a",
+    "in",
+    "that",
+    "have",
+    "it",
+    "for",
+    "not",
+    "on",
+    "with",
+    "he",
+    "as",
+    "you",
+    "do",
+    "at",
+    "this",
+    "but",
+    "his",
+    "by",
+    "from",
+    "they",
+    "we",
+    "say",
+    "her",
+    "she",
+    "or",
+    "an",
+    "will",
+    "my",
+    "one",
+    "all",
+    "would",
+    "there",
+    "their",
+    "what",
+    "so",
+    "up",
+    "out",
+    "if",
+    "about",
+    "who",
+    "get",
+    "which",
+    "go",
+    "me",
+    "when",
+    "make",
+    "can",
+    "like",
+    "time",
+    "no",
+    "just",
+    "him",
+    "know",
+    "take",
+    "people",
+    "into",
+    "year",
+    "your",
+    "good",
+    "some",
+    "could",
+    "them",
+    "see",
+    "other",
+    "than",
+    "then",
+    "now",
+    "look",
+    "only",
+    "come",
+    "its",
+    "over",
+    "think",
+    "also",
+    "back",
+    "after",
+    "use",
+    "two",
+    "how",
+    "our",
+    "work",
+    "first",
+    "well",
+    "way",
+    "even",
+    "new",
+    "want",
+    "because",
+    "any",
+    "these",
+    "give",
+    "day",
+    "most",
+    "us",
+    "great",
+    "morning",
+    "night",
+    "today",
+    "tomorrow",
+    "love",
+    "hate",
+    "really",
+    "very",
+    "happy",
+    "sad",
+    "tired",
+    "excited",
+    "sure",
+    "maybe",
+    "never",
+    "always",
+    "again",
+    "still",
+    "home",
+    "school",
+    "music",
+    "movie",
+    "game",
+    "team",
+    "play",
+    "watch",
+    "read",
+    "write",
+    "listen",
+    "weather",
+    "rain",
+    "sunny",
+    "coffee",
+    "lunch",
+    "dinner",
+    "breakfast",
+    "friend",
+    "family",
+    "weekend",
+    "monday",
+    "friday",
+    "sunday",
+    "party",
+    "birthday",
+    "national",
+    "station",
+    "nation",
+    "notation",
+    "banana",
+    "anna",
+    "alan",
+    "gala",
+    "angle",
+    "signal",
+    "annual",
+    "manual",
+    "casual",
+    "usual",
+    "visual",
+    "channel",
+    "planner",
+    "scanner",
+    "analog",
+    "catalog",
+    "dialog",
+    "total",
+    "local",
+    "vocal",
+    "final",
+    "canal",
+    "loan",
+    "alone",
+    "along",
+    "among",
+    "strong",
+    "wrong",
+    "song",
+    "long",
+    "gone",
+    "done",
+    "none",
+    "bone",
+    "zone",
+    "users",
+    "reuse",
+    "excuse",
+    "because",
+    "house",
+    "mouse",
+    "pause",
+    "cause",
+    "amuse",
+    "museum",
+    "serious",
+    "curious",
+    "furious",
+    "various",
+    "obvious",
+    "jealous",
+    "nervous",
+    "famous",
 ];
 
 /// Location strings (profile `location` field values).
 pub const LOCATIONS: &[&str] = &[
-    "London", "New York", "Atlanta", "California", "Toronto", "Berlin", "Singapore", "Chicago",
-    "Los Angeles", "Dallas", "Seattle", "Boston", "Portland", "Austin", "Denver", "Miami", "",
-    "somewhere", "earth", "internet",
+    "London",
+    "New York",
+    "Atlanta",
+    "California",
+    "Toronto",
+    "Berlin",
+    "Singapore",
+    "Chicago",
+    "Los Angeles",
+    "Dallas",
+    "Seattle",
+    "Boston",
+    "Portland",
+    "Austin",
+    "Denver",
+    "Miami",
+    "",
+    "somewhere",
+    "earth",
+    "internet",
 ];
 
 /// First names for user handles.

@@ -502,7 +502,8 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         (0u16..256)
             .map(|v| {
-                sim.set_input_word("b", &BitVec::from_u64(u64::from(v), 8)).unwrap();
+                sim.set_input_word("b", &BitVec::from_u64(u64::from(v), 8))
+                    .unwrap();
                 sim.settle();
                 sim.output("y").unwrap()
             })
@@ -556,8 +557,8 @@ mod tests {
     fn byte_in_set_exhaustive() {
         let set = ByteSet::from_bytes(b"0123456789.-+eE");
         let out = eval_byte_fn(|n, b| byte_in_set(n, b, &set));
-        for v in 0..256usize {
-            assert_eq!(out[v], set.contains(v as u8), "byte {v:#x}");
+        for (v, &hit) in out.iter().enumerate() {
+            assert_eq!(hit, set.contains(v as u8), "byte {v:#x}");
         }
     }
 
@@ -568,8 +569,8 @@ mod tests {
         let mut set = ByteSet::full();
         set.remove(b'Q');
         let out = eval_byte_fn(|n, b| byte_in_set(n, b, &set));
-        for v in 0..256usize {
-            assert_eq!(out[v], v != usize::from(b'Q'));
+        for (v, &hit) in out.iter().enumerate() {
+            assert_eq!(hit, v != usize::from(b'Q'));
         }
     }
 
@@ -621,7 +622,8 @@ mod tests {
         let data = b"XYZ";
         let mut hist = Vec::new();
         for &c in data {
-            sim.set_input_word("b", &BitVec::from_u64(u64::from(c), 8)).unwrap();
+            sim.set_input_word("b", &BitVec::from_u64(u64::from(c), 8))
+                .unwrap();
             sim.settle();
             hist.push((
                 sim.output_word("s0", 8).unwrap().to_u64() as u8,
@@ -692,7 +694,10 @@ mod tests {
         assert!(!sim.output("m").unwrap());
         sim.set_input("set", true).unwrap();
         sim.settle();
-        assert!(sim.output("m").unwrap(), "combinational set visible same cycle");
+        assert!(
+            sim.output("m").unwrap(),
+            "combinational set visible same cycle"
+        );
         sim.clock();
         sim.set_input("set", false).unwrap();
         sim.settle();

@@ -199,7 +199,9 @@ impl Netlist {
 
     /// Adds a `width`-bit little-endian input word named `name[0..width]`.
     pub fn input_word(&mut self, name: &str, width: usize) -> Vec<NodeId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Registers `bit` as a named output.
@@ -357,7 +359,10 @@ impl Netlist {
 
     /// All nodes in creation order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Number of nodes (all kinds).
@@ -415,7 +420,9 @@ impl Netlist {
     pub fn check_connected(&self) -> crate::Result<()> {
         for (i, n) in self.nodes.iter().enumerate() {
             if let Node::Dff { d: None, .. } = n {
-                return Err(RtlError::UnconnectedDff { node: NodeId(i as u32) });
+                return Err(RtlError::UnconnectedDff {
+                    node: NodeId(i as u32),
+                });
             }
         }
         Ok(())

@@ -386,7 +386,8 @@ mod tests {
             n.output(format!("y[{i}]"), inv);
         }
         let mut sim = Simulator::new(&n).unwrap();
-        sim.set_input_word("x", &BitVec::from_u64(0b0101, 4)).unwrap();
+        sim.set_input_word("x", &BitVec::from_u64(0b0101, 4))
+            .unwrap();
         sim.settle();
         assert_eq!(sim.output_word("y", 4).unwrap().to_u64(), 0b1010);
     }

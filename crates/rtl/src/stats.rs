@@ -123,7 +123,14 @@ mod tests {
         n.output("q", q);
         let s = NetlistStats::of(&n);
         assert_eq!(
-            (s.and_gates, s.or_gates, s.xor_gates, s.not_gates, s.muxes, s.dffs),
+            (
+                s.and_gates,
+                s.or_gates,
+                s.xor_gates,
+                s.not_gates,
+                s.muxes,
+                s.dffs
+            ),
             (1, 1, 1, 1, 1, 1)
         );
         assert_eq!(s.total_gates(), 5);

@@ -40,6 +40,7 @@ impl Lit {
 
     /// The complemented literal.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // netlist code reads better as `lit.not()` than `!lit`
     pub fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }

@@ -109,7 +109,11 @@ pub fn enumerate(aig: &Aig, k: usize) -> CutSets {
                 }
                 cand.push(Cut::trivial(var));
                 // Remove duplicates and dominated cuts.
-                cand.sort_by(|x, y| x.size().cmp(&y.size()).then_with(|| x.leaves.cmp(&y.leaves)));
+                cand.sort_by(|x, y| {
+                    x.size()
+                        .cmp(&y.size())
+                        .then_with(|| x.leaves.cmp(&y.leaves))
+                });
                 cand.dedup();
                 let mut kept: Vec<Cut> = Vec::new();
                 for c in cand {
@@ -155,8 +159,12 @@ mod tests {
 
     #[test]
     fn merge_respects_k() {
-        let a = Cut { leaves: vec![1, 2, 3] };
-        let b = Cut { leaves: vec![3, 4, 5] };
+        let a = Cut {
+            leaves: vec![1, 2, 3],
+        };
+        let b = Cut {
+            leaves: vec![3, 4, 5],
+        };
         assert_eq!(a.merge(&b, 6).unwrap().leaves, vec![1, 2, 3, 4, 5]);
         assert!(a.merge(&b, 4).is_none());
     }
@@ -171,7 +179,9 @@ mod tests {
     #[test]
     fn dominance() {
         let small = Cut { leaves: vec![1, 3] };
-        let big = Cut { leaves: vec![1, 2, 3] };
+        let big = Cut {
+            leaves: vec![1, 2, 3],
+        };
         assert!(small.dominates(&big));
         assert!(!big.dominates(&small));
         assert!(small.dominates(&small));

@@ -94,7 +94,9 @@ pub fn map_aig(aig: &Aig, k: usize) -> (ResourceReport, LutNetwork) {
         }
         is_selected[var as usize] = true;
         selected.push(var);
-        let cut = best[var as usize].as_ref().expect("selected node has a cut");
+        let cut = best[var as usize]
+            .as_ref()
+            .expect("selected node has a cut");
         for &leaf in &cut.leaves {
             if matches!(nodes[leaf as usize], AigNode::And(..)) {
                 stack.push(leaf);
@@ -352,7 +354,9 @@ mod tests {
         let mut pool = inputs.clone();
         let mut x = 0x9E3779B97F4A7C15u64;
         for g in 0..30 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = pool[(x >> 11) as usize % pool.len()];
             let b = pool[(x >> 37) as usize % pool.len()];
             let node = match (x >> 5) % 4 {

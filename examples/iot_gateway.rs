@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = smartcity::generate(7, 20_000);
     let stream = dataset.stream();
     let query = Query::qs1();
-    println!("stream:  {} records, {:.1} MB", dataset.len(), stream.len() as f64 / 1e6);
+    println!(
+        "stream:  {} records, {:.1} MB",
+        dataset.len(),
+        stream.len() as f64 / 1e6
+    );
     println!("query:   {query}\n");
 
     // The raw filter: every attribute as a structural {s1 & v} pair.
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let parse_survivors = t2.elapsed();
 
-    assert_eq!(baseline_hits, gateway_hits, "no false negatives: results identical");
+    assert_eq!(
+        baseline_hits, gateway_hits,
+        "no false negatives: results identical"
+    );
 
     let survivors = matches.iter().filter(|m| **m).count();
     println!("hardware model: {report}");

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for probe in ["34", "35", "36", "99", "100", "9", "035"] {
         println!(
             "  {probe:>4} -> {}",
-            if min.accepts(probe.as_bytes()) { "accept" } else { "reject" }
+            if min.accepts(probe.as_bytes()) {
+                "accept"
+            } else {
+                "reject"
+            }
         );
     }
 
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for probe in ["11", "12", "49", "50", "2.1e3", "120e-1"] {
         println!(
             "  {probe:>7} -> {}",
-            if hw_dfa.accepts(probe.as_bytes()) { "accept" } else { "reject" }
+            if hw_dfa.accepts(probe.as_bytes()) {
+                "accept"
+            } else {
+                "reject"
+            }
         );
     }
 

@@ -1,0 +1,28 @@
+//! # rfjson — raw filtering of JSON data on FPGAs
+//!
+//! Top-level facade over the seven workspace crates. The integration
+//! tests in `tests/` and the demos in `examples/` depend on this
+//! package; library users normally depend on the individual crates.
+//!
+//! * [`core`] ([`rfjson_core`]) — filter primitives, expression
+//!   composition, elaboration, design-space exploration.
+//! * [`rtl`] ([`rfjson_rtl`]) — gate/register netlists and the
+//!   cycle-accurate simulator.
+//! * [`redfa`] ([`rfjson_redfa`]) — regex → NFA → minimised DFA and the
+//!   numeric-range automata of Fig. 2.
+//! * [`jsonstream`] ([`rfjson_jsonstream`]) — string mask, nesting
+//!   tracker, reference parser, writer and framing.
+//! * [`techmap`] ([`rfjson_techmap`]) — AIG extraction and K-LUT
+//!   mapping for resource reports.
+//! * [`riotbench`] ([`rfjson_riotbench`]) — seeded synthetic SmartCity,
+//!   Taxi and Twitter workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rfjson_core as core;
+pub use rfjson_jsonstream as jsonstream;
+pub use rfjson_redfa as redfa;
+pub use rfjson_riotbench as riotbench;
+pub use rfjson_rtl as rtl;
+pub use rfjson_techmap as techmap;

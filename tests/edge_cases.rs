@@ -3,9 +3,9 @@
 //! front of a 10 GbE feed will inevitably see.
 
 use rfjson_core::arch::RawFilterSystem;
+use rfjson_core::elaborate::elaborate_filter;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
-use rfjson_core::elaborate::elaborate_filter;
 use rfjson_rtl::{BitVec, Simulator};
 
 fn ctx_filter() -> Expr {
@@ -29,10 +29,10 @@ fn malformed_json_never_panics_and_never_matches_vacuously() {
     let mut f = CompiledFilter::compile(&ctx_filter());
     for record in [
         &br#"{"e":[{"v":"21.0","n":"temperature""#[..], // truncated
-        br#"}}}}]]]]"#,                                  // unbalanced closers
-        br#"{{{{"#,                                      // unbalanced openers
-        br#""temperature" 21.0"#,                        // bare tokens
-        b"\xff\xfe\x00\x01",                             // binary garbage
+        br#"}}}}]]]]"#,                                 // unbalanced closers
+        br#"{{{{"#,                                     // unbalanced openers
+        br#""temperature" 21.0"#,                       // bare tokens
+        b"\xff\xfe\x00\x01",                            // binary garbage
     ] {
         // Raw filters are structure-agnostic scanners: they must tolerate
         // any byte soup without panicking. ("temperature" 21.0 legitimately
@@ -76,10 +76,7 @@ fn values_split_across_sibling_objects_do_not_combine() {
 fn member_scope_same_key_later_value() {
     let e = Expr::context_scoped(
         StructScope::Member,
-        [
-            Expr::substring(b"x", 1).unwrap(),
-            Expr::int_range(5, 9),
-        ],
+        [Expr::substring(b"x", 1).unwrap(), Expr::int_range(5, 9)],
     );
     let mut f = CompiledFilter::compile(&e);
     // Key and value in the same member: accept.
@@ -101,7 +98,10 @@ fn number_tokens_at_all_boundaries() {
     assert!(f.accepts_record(b"15"), "record-end boundary via newline");
     assert!(f.accepts_record(b"[99,15]"), "second token");
     assert!(!f.accepts_record(b"[151]"), "no partial-token match");
-    assert!(!f.accepts_record(b"[1.5e1]") == false, "15 as exponent accepted approximately");
+    assert!(
+        f.accepts_record(b"[1.5e1]"),
+        "15 as exponent accepted approximately"
+    );
 }
 
 #[test]
@@ -128,7 +128,8 @@ fn hardware_tolerates_malformed_records_too() {
     ] {
         let mut hw = false;
         for &b in record.iter().chain(b"\n") {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8)).unwrap();
+            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
+                .unwrap();
             sim.settle();
             hw = sim.output("match").unwrap();
             sim.clock();
@@ -172,5 +173,8 @@ fn or_children_cannot_be_pruned_but_and_can() {
     // negative §III-D forbids:
     let mut f_or = CompiledFilter::compile(&ored);
     assert!(f_or.accepts_record(rec_dog));
-    assert!(!f_a.accepts_record(rec_dog), "pruned OR would lose this record");
+    assert!(
+        !f_a.accepts_record(rec_dog),
+        "pruned OR would lose this record"
+    );
 }

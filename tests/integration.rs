@@ -52,8 +52,7 @@ fn filter_agrees_with_parse_then_evaluate() {
     // positives).
     let ds = twitter::generate(102, 200);
     let needle = b"favourites_count";
-    let mut filter =
-        CompiledFilter::compile(&Expr::substring(needle, 2).expect("valid spec"));
+    let mut filter = CompiledFilter::compile(&Expr::substring(needle, 2).expect("valid spec"));
     for rec in ds.records() {
         let parsed = parse(rec).expect("generated records parse");
         let truly_contains = parsed.get("user").is_some()

@@ -37,7 +37,7 @@ proptest! {
     /// sensors do.
     #[test]
     fn structural_filter_never_drops_matches(
-        temp in 7i32..351,
+        temp in 7i32..=351,
         hum in 0i32..1000,
         aqr in 0i32..2000,
     ) {
@@ -193,6 +193,44 @@ proptest! {
         let a_accepts = CompiledFilter::compile(&ea).accepts_record(&record);
         let b_accepts = CompiledFilter::compile(&eb).accepts_record(&record);
         prop_assert_eq!(and_accepts, a_accepts && b_accepts);
+    }
+
+    /// The paper's running example (Listing 2's query on Listing 1-shaped
+    /// records), checked against **all four** primitive matchers: the
+    /// structural `{string & number}` filter is built once per string
+    /// technique — (i) DFA matcher, (ii) window matcher, (iii) substring
+    /// matcher — each combined with the (iv) number-range matcher, and
+    /// none of them may ever drop a genuinely matching record.
+    #[test]
+    fn running_example_all_four_matchers(
+        temp in 7i32..=351,
+        hum in 0i32..1000,
+        aqr in 0i32..2000,
+        b in 1usize..4,
+    ) {
+        let string_variants: [(&str, Expr); 3] = [
+            ("dfa", Expr::dfa_string(b"temperature").unwrap()),
+            ("window", Expr::window(b"temperature").unwrap()),
+            ("substring", Expr::substring(b"temperature", b).unwrap()),
+        ];
+        let record = senml_record(temp, hum, aqr);
+        for (name, string_expr) in string_variants {
+            // Listing 2: { s("temperature") & v(0.7 <= f <= 35.1) } — the
+            // number matcher is the fourth primitive, present in every
+            // variant.
+            let expr = Expr::context_scoped(StructScope::Object, [
+                string_expr,
+                Expr::float_range("0.7", "35.1").unwrap(),
+            ]);
+            let mut filter = CompiledFilter::compile(&expr);
+            // temp is in tenths: 7..=351 ⇒ 0.7..=35.1 inclusive, so the
+            // record genuinely matches and must never be filtered out.
+            prop_assert!(
+                filter.accepts_record(&record),
+                "{name} matcher dropped record with temperature {}.{}",
+                temp / 10, temp % 10
+            );
+        }
     }
 
     /// OR filters accept iff some branch accepts (no pruning possible).

@@ -1,0 +1,175 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use. The build environment has no registry
+//! access, so the real crate cannot be fetched.
+//!
+//! Semantics: each `bench_function` closure is warmed up, then timed over
+//! `sample_size` samples with `std::time::Instant`; mean/min wall time per
+//! iteration (and bytes-per-second when a [`Throughput`] is set) print to
+//! stdout. Under `cargo test` (which passes `--test` to `harness = false`
+//! bench binaries) every benchmark body runs exactly once as a smoke test,
+//! mirroring real criterion's test mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test`
+        // during `cargo test`, expecting a fast smoke run.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {label} ... ok (smoke)");
+            return;
+        }
+        // Warm-up, then calibrate the per-sample iteration count toward
+        // ~5 ms so short routines are not pure timer noise.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed / (iters as u32);
+            total += per;
+            best = best.min(per);
+        }
+        let mean = total / (self.sample_size as u32);
+        let rate = self.throughput.map(|t| {
+            let mean_s = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => {
+                    format!(", {:.1} MiB/s", n as f64 / mean_s / (1 << 20) as f64)
+                }
+                Throughput::Elements(n) => format!(", {:.1} Melem/s", n as f64 / mean_s / 1e6),
+            }
+        });
+        println!(
+            "bench {label:48} mean {mean:>12?} min {best:>12?}{}",
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Close the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

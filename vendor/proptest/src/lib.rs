@@ -1,0 +1,140 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest` API
+//! this workspace uses. The build environment has no registry access, so
+//! the real crate cannot be fetched.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic by default.** Every test function derives its RNG seed
+//!   from a fixed workspace seed (`0x5EED_2022`) mixed with the test's own
+//!   name, so runs are bit-identical across machines and invocations. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream and
+//!   `PROPTEST_CASES=<n>` to change the case count (default 64).
+//! * **No shrinking.** A failing case panics immediately with the case
+//!   index; because seeding is deterministic, re-running reproduces it
+//!   exactly, which replaces the `proptest-regressions/` persistence files.
+//! * Strategies generate directly (no value trees).
+//!
+//! Supported surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`, numeric range
+//! strategies, char-class regex string strategies (`"[a-z]{1,6}"`), tuple
+//! strategies, `Strategy::prop_map`/`prop_recursive`/`boxed`, and
+//! `prop::collection::vec`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Define property tests: each `fn name(binding in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over deterministically generated
+/// cases. An optional leading `#![proptest_config(expr)]` sets the
+/// [`test_runner::ProptestConfig`] for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                // Draw each binding from its strategy, left to right.
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), __rng);)+
+                { $body }
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", lhs, rhs);
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                lhs, rhs, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs == *rhs {
+            panic!("prop_assert_ne failed: both sides are {:?}", lhs);
+        }
+    }};
+}
+
+/// Discard the current case (it counts as neither success nor failure).
+/// Only valid directly inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// The prelude: everything the `proptest!` idiom needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of the crate root (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

@@ -1,0 +1,316 @@
+//! Regex-literal string strategies: `"[a-z]{1,6}"` as a `Strategy<Value =
+//! String>`, the proptest idiom for random identifiers and payloads.
+//!
+//! Supports the subset this workspace uses: literal characters, escapes
+//! (`\n`, `\t`, `\r`, `\\`, `\"`, `\[`, …), character classes `[...]`
+//! (with ranges), groups `(...)`, alternation `|`, and the quantifiers
+//! `?`, `{n}` and `{m,n}`. Unsupported syntax panics with a clear message
+//! so a silent mis-generation can never weaken a property.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// One character drawn uniformly from the set.
+    Class(Vec<char>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// Uniform choice between alternatives.
+    Alt(Vec<Node>),
+    /// `min..=max` repetitions of the inner node.
+    Repeat {
+        node: Box<Node>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        // Every other escaped character stands for itself (\\, \", \[, \-, …).
+        other => other,
+    }
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            pattern,
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("regex strategy {:?}: {msg}", self.pattern)
+    }
+
+    /// alternation := sequence ('|' sequence)*
+    fn alternation(&mut self) -> Node {
+        let mut alts = vec![self.sequence()];
+        while self.peek() == Some('|') {
+            self.next();
+            alts.push(self.sequence());
+        }
+        if alts.len() == 1 {
+            alts.pop().expect("one element")
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    /// sequence := (atom quantifier?)*
+    fn sequence(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            items.push(self.quantified(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn atom(&mut self) -> Node {
+        let c = self.next().expect("sequence checked peek");
+        match c {
+            '[' => Node::Class(self.class_body()),
+            '(' => {
+                let inner = self.alternation();
+                if self.next() != Some(')') {
+                    self.fail("unterminated group");
+                }
+                inner
+            }
+            '\\' => match self.next() {
+                Some(e) => Node::Class(vec![unescape(e)]),
+                None => self.fail("dangling escape"),
+            },
+            '{' | '}' | '*' | '+' | '?' | '^' | '$' | '.' => self.fail(
+                "unsupported metacharacter (vendored proptest supports classes, \
+                 escapes, groups, alternation, `?` and `{m,n}` only)",
+            ),
+            literal => Node::Class(vec![literal]),
+        }
+    }
+
+    fn quantified(&mut self, node: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.next();
+                Node::Repeat {
+                    node: Box::new(node),
+                    min: 0,
+                    max: 1,
+                }
+            }
+            Some('{') => {
+                self.next();
+                let mut body = String::new();
+                loop {
+                    match self.next() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => self.fail("unterminated repetition"),
+                    }
+                }
+                let counts: Vec<usize> = body
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .unwrap_or_else(|_| self.fail("bad repetition count"))
+                    })
+                    .collect();
+                let (min, max) = match counts.as_slice() {
+                    [n] => (*n, *n),
+                    [m, n] => (*m, *n),
+                    _ => self.fail("bad repetition"),
+                };
+                if min > max {
+                    self.fail("inverted repetition");
+                }
+                Node::Repeat {
+                    node: Box::new(node),
+                    min,
+                    max,
+                }
+            }
+            _ => node,
+        }
+    }
+
+    /// Body of a `[...]` class; the opening `[` is already consumed.
+    fn class_body(&mut self) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = match self.next() {
+                Some(c) => c,
+                None => self.fail("unterminated character class"),
+            };
+            match c {
+                ']' => break,
+                '\\' => match self.next() {
+                    Some(e) => set.push(unescape(e)),
+                    None => self.fail("dangling escape"),
+                },
+                lo => {
+                    // Range `a-z` (a `-` before `]` is a literal).
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.next();
+                        let hi = self.next().expect("peeked range end");
+                        if lo > hi {
+                            self.fail("inverted class range");
+                        }
+                        let mut ch = lo;
+                        loop {
+                            set.push(ch);
+                            if ch == hi {
+                                break;
+                            }
+                            ch = char::from_u32(ch as u32 + 1).expect("class range");
+                        }
+                    } else {
+                        set.push(lo);
+                    }
+                }
+            }
+        }
+        if set.is_empty() {
+            self.fail("empty character class");
+        }
+        set
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let mut p = Parser::new(pattern);
+    let node = p.alternation();
+    if p.peek().is_some() {
+        p.fail("trailing `)` without opening group");
+    }
+    node
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Class(set) => out.push(set[rng.usize_in(0, set.len())]),
+        Node::Seq(items) => {
+            for item in items {
+                generate(item, rng, out);
+            }
+        }
+        Node::Alt(alts) => generate(&alts[rng.usize_in(0, alts.len())], rng, out),
+        Node::Repeat { node, min, max } => {
+            let count = if min == max {
+                *min
+            } else {
+                rng.usize_in(*min, *max + 1)
+            };
+            for _ in 0..count {
+                generate(node, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        // Parsing on every call keeps the API allocation-free at set-up
+        // time; patterns are tiny, so this is not a hot path.
+        let node = parse(self);
+        let mut out = String::new();
+        generate(&node, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-c]{0,6}".gen_value(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        let mut rng = TestRng::new(4);
+        let s = r#"ab\nc"#.gen_value(&mut rng);
+        assert_eq!(s, "ab\nc");
+        for _ in 0..100 {
+            let s = "[x\\n\\]\\\\]{1,3}".gen_value(&mut rng);
+            assert!(s.chars().all(|c| "x\n]\\".contains(c)));
+        }
+    }
+
+    #[test]
+    fn json_ish_class() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9 _\\\\\"\\n\\t{}\\[\\],:]{0,12}".gen_value(&mut rng);
+            assert!(s.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::new(6);
+        let s = "[0-9]{4}".gen_value(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn groups_optionals_and_alternation() {
+        let mut rng = TestRng::new(7);
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        for _ in 0..300 {
+            let s = "-?[0-9]{1,5}(\\.[0-9]{1,3})?(e-?[0-9])?".gen_value(&mut rng);
+            saw_dot |= s.contains('.');
+            saw_exp |= s.contains('e');
+            // Must always be a valid JSON-ish number token.
+            let t = s.strip_prefix('-').unwrap_or(&s);
+            assert!(t.starts_with(|c: char| c.is_ascii_digit()), "{s:?}");
+        }
+        assert!(saw_dot && saw_exp, "optional groups never taken");
+        for _ in 0..50 {
+            let s = "(ab|cd){2}".gen_value(&mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(["ab", "cd"].contains(&&s[0..2]));
+            assert!(["ab", "cd"].contains(&&s[2..4]));
+        }
+    }
+}

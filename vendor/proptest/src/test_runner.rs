@@ -1,0 +1,132 @@
+//! Deterministic test runner: configuration, RNG and the case loop used by
+//! the `proptest!` macro expansion.
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case must be discarded.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejected;
+
+/// Outcome of one generated case.
+pub type CaseResult = Result<(), Rejected>;
+
+/// Deterministic SplitMix64 RNG used to drive every strategy.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed workspace-wide base seed (see crate docs for overrides).
+    pub const BASE_SEED: u64 = 0x5EED_2022;
+
+    /// Seed a generator directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Derive the seed for a named test: base seed (or `PROPTEST_SEED`)
+    /// mixed with an FNV-1a hash of the test name, so distinct tests see
+    /// distinct but reproducible streams.
+    pub fn for_test(name: &str) -> (u64, Self) {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| {
+                v.strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+            })
+            .unwrap_or(Self::BASE_SEED);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let seed = base ^ h;
+        (seed, TestRng::new(seed))
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drive one property: generate cases with `run_case` until `cases`
+/// accepted runs succeed. Panics (propagating the case's own panic) on the
+/// first failure, after printing enough context to reproduce it.
+pub fn run<F>(test_name: &str, config: &ProptestConfig, mut run_case: F)
+where
+    F: FnMut(&mut TestRng) -> CaseResult,
+{
+    let (seed, mut rng) = TestRng::for_test(test_name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(config.cases) * 16 + 256;
+    while accepted < config.cases {
+        let before = rng.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(Rejected)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many rejected cases \
+                         ({rejected} rejects for {accepted} accepts)"
+                    );
+                }
+            }
+            Err(payload) => {
+                let _ = before; // state that produced the failing case
+                eprintln!(
+                    "proptest '{test_name}' failed at case {accepted} \
+                     (seed 0x{seed:016x}); the run is deterministic — \
+                     re-running reproduces this exact case"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
