@@ -1,0 +1,225 @@
+//! Performance trajectory: software filtering throughput (MB/s) of the
+//! cosim-faithful byte-serial model vs the flat batch engine, on the
+//! paper's query workloads, written as machine-readable JSON.
+//!
+//! Each PR that touches a hot path reruns this and checks in a
+//! `BENCH_PR<N>.json` at the repo root; the sequence of files is the
+//! repo's perf trajectory and future PRs are held to it.
+//!
+//! ```text
+//! cargo run -p rfjson-bench --bin perf_trajectory --release -- \
+//!     [--quick] [--pr N] [--out BENCH_PRN.json]
+//! ```
+//!
+//! `--quick` shrinks the corpora and iteration count for CI smoke use;
+//! `--pr N` stamps the measurement (and the default output filename) for
+//! PR N. The binary always cross-checks that engine and model produce
+//! identical per-record decisions and exits non-zero on any divergence.
+
+use rfjson_core::engine::Engine;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::query::query_to_exprs;
+use rfjson_riotbench::{smartcity_corpus, taxi_corpus, twitter_corpus, Dataset, Query};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Schema identifier for `BENCH_*.json` consumers.
+const SCHEMA: &str = "rfjson-perf-trajectory/v1";
+/// Default `--pr` value: the PR that last reran the trajectory.
+const DEFAULT_PR: u32 = 2;
+
+struct WorkloadResult {
+    name: String,
+    dataset: String,
+    records: usize,
+    stream_bytes: usize,
+    expr: String,
+    accepted: usize,
+    model_mbps: f64,
+    engine_mbps: f64,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        if self.model_mbps > 0.0 {
+            self.engine_mbps / self.model_mbps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Best-of-`iters` throughput of one closure over `bytes` input bytes.
+fn best_mbps(bytes: usize, iters: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    bytes as f64 / best / 1e6
+}
+
+fn measure(name: &str, expr: &Expr, dataset: &Dataset, iters: usize) -> WorkloadResult {
+    let stream = dataset.stream();
+    let mut model = CompiledFilter::compile(expr);
+    let mut engine = Engine::compile(expr);
+
+    let model_decisions = model.filter_stream(&stream);
+    let engine_decisions = engine.filter_stream(&stream);
+    if model_decisions != engine_decisions {
+        eprintln!("FATAL: engine and model decisions diverge on {name}");
+        std::process::exit(1);
+    }
+
+    let model_mbps = best_mbps(stream.len(), iters, || {
+        black_box(model.filter_stream(black_box(&stream)));
+    });
+    let mut out = Vec::new();
+    let engine_mbps = best_mbps(stream.len(), iters, || {
+        out.clear();
+        engine.filter_stream_into(black_box(&stream), &mut out);
+        black_box(out.len());
+    });
+
+    WorkloadResult {
+        name: name.to_string(),
+        dataset: dataset.name().to_string(),
+        records: dataset.len(),
+        stream_bytes: stream.len(),
+        expr: expr.to_string(),
+        accepted: engine_decisions.iter().filter(|m| **m).count(),
+        model_mbps,
+        engine_mbps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn to_json(pr: u32, quick: bool, results: &[WorkloadResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"pr\": {pr},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", json_escape(&r.name));
+        let _ = writeln!(s, "      \"dataset\": \"{}\",", json_escape(&r.dataset));
+        let _ = writeln!(s, "      \"records\": {},", r.records);
+        let _ = writeln!(s, "      \"stream_bytes\": {},", r.stream_bytes);
+        let _ = writeln!(s, "      \"expr\": \"{}\",", json_escape(&r.expr));
+        let _ = writeln!(s, "      \"accepted\": {},", r.accepted);
+        let _ = writeln!(s, "      \"model_mbps\": {:.3},", r.model_mbps);
+        let _ = writeln!(s, "      \"engine_mbps\": {:.3},", r.engine_mbps);
+        let _ = writeln!(s, "      \"speedup\": {:.3},", r.speedup());
+        s.push_str("      \"decisions_agree\": true\n");
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pr: u32 = args
+        .iter()
+        .position(|a| a == "--pr")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("FATAL: --pr expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(DEFAULT_PR);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
+
+    let (records, iters) = if quick { (300, 2) } else { (1500, 7) };
+    let smartcity = smartcity_corpus(records);
+    let taxi = taxi_corpus(records);
+    let twitter = twitter_corpus(records);
+
+    // The paper's Table VIII queries in their most accurate structural
+    // form, plus a string-heavy Twitter workload (no Table VIII query
+    // exists for Twitter; favourites_count is a flat member, so the
+    // member-scoped pair mirrors the taxi construction).
+    let qtw = Expr::context_scoped(
+        StructScope::Member,
+        [
+            Expr::substring(b"favourites_count", 2).expect("valid needle"),
+            Expr::int_range(100, 50_000),
+        ],
+    );
+    let workloads: Vec<(&str, Expr, &Dataset)> = vec![
+        (
+            "QS0",
+            query_to_exprs(&Query::qs0(), 1).expect("query converts"),
+            &smartcity,
+        ),
+        (
+            "QS1",
+            query_to_exprs(&Query::qs1(), 1).expect("query converts"),
+            &smartcity,
+        ),
+        (
+            "QT",
+            query_to_exprs(&Query::qt(), 2).expect("query converts"),
+            &taxi,
+        ),
+        ("QTW", qtw, &twitter),
+    ];
+
+    println!(
+        "perf trajectory (PR {pr}){} — byte-serial model vs batch engine\n",
+        if quick { " [quick]" } else { "" }
+    );
+    println!(
+        "{:<6} {:<10} {:>8} {:>12} {:>13} {:>9}",
+        "query", "dataset", "records", "model MB/s", "engine MB/s", "speedup"
+    );
+    let mut results = Vec::new();
+    for (name, expr, dataset) in &workloads {
+        let r = measure(name, expr, dataset, iters);
+        println!(
+            "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>8.2}x",
+            r.name,
+            r.dataset,
+            r.records,
+            r.model_mbps,
+            r.engine_mbps,
+            r.speedup()
+        );
+        results.push(r);
+    }
+
+    let json = to_json(pr, quick, &results);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out_path}");
+}

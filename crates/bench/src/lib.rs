@@ -18,10 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rfjson_riotbench::{smartcity, taxi, twitter, Dataset};
+use rfjson_riotbench::{corpus, Dataset};
 
-/// Standard seed for all benchmark datasets (reproducibility).
-pub const SEED: u64 = 0x5EED_2022;
+/// Standard seed for all benchmark datasets (reproducibility) — the
+/// workspace-wide [`corpus::CORPUS_SEED`].
+pub const SEED: u64 = corpus::CORPUS_SEED;
 
 /// Standard record count for FPR evaluation.
 pub const RECORDS: usize = 2000;
@@ -29,9 +30,9 @@ pub const RECORDS: usize = 2000;
 /// The three evaluation datasets at standard size.
 pub fn standard_datasets() -> (Dataset, Dataset, Dataset) {
     (
-        smartcity::generate(SEED, RECORDS),
-        taxi::generate(SEED + 1, RECORDS),
-        twitter::generate(SEED + 2, RECORDS),
+        corpus::smartcity_corpus(RECORDS),
+        corpus::taxi_corpus(RECORDS),
+        corpus::twitter_corpus(RECORDS),
     )
 }
 

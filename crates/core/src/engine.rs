@@ -1,0 +1,812 @@
+//! Flat batch execution engine: the table-driven fast path for composed
+//! raw filters.
+//!
+//! [`CompiledFilter`](crate::evaluator::CompiledFilter) is the
+//! co-simulation model: it walks an [`EvalNode`](crate::evaluator) tree
+//! with enum dispatch for every input byte and steps DFAs through a
+//! class-indirection lookup. That is faithful to the hardware but nowhere
+//! near as fast as software allows. [`Engine`] executes the *same*
+//! semantics — bit-for-bit, byte-for-byte, held equal by differential
+//! property tests — from flattened, allocation-free state:
+//!
+//! * every DFA-backed primitive (exact string matchers and number-range
+//!   automata) becomes a **dense 256-wide row-major transition table**
+//!   ([`Dfa::dense_table`]) with the accept flag folded into the state
+//!   word, so one load per byte replaces two dependent loads plus an
+//!   accept lookup;
+//! * window and substring matchers keep **struct-of-arrays** state (packed
+//!   `u64` windows, run counters) stepped in a flat loop instead of
+//!   `Box<Prim>` dispatch;
+//! * the AND/OR/CTX combinator tree becomes a **post-order flat program**
+//!   whose satisfaction latches live in `u64` bitsets and are evaluated
+//!   and cleared with bitwise mask operations;
+//! * the string mask, nesting depth and comma/close classification come
+//!   from **one shared structural scan** (the byte-class-LUT
+//!   [`StreamTracker`]), run once per byte and skipped wholesale for
+//!   context-free filters.
+//!
+//! The full-window matcher (technique ii) compiles to the `.*needle`
+//! automaton: firing "buffer == needle" is exactly "stream ends with
+//! needle", and NUL-free needles can never match the zero-initialised
+//! buffer early, so the table-driven walk is fire-identical to the
+//! hardware shift register (the differential tests include window
+//! expressions).
+
+use crate::evaluator::StreamTracker;
+use crate::expr::{Expr, StringTechnique, StructScope};
+use crate::primitive::{DfaStringMatcher, FireFilter, SubstringMatcher, WindowMatcher};
+use rfjson_redfa::range::is_number_byte;
+use rfjson_redfa::DENSE_ACCEPT_BIT;
+
+/// State-index part of a dense state word.
+const STATE_MASK: u16 = !DENSE_ACCEPT_BIT;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    And,
+    Or,
+    Ctx {
+        /// Mask offset of the strict-descendant clear mask.
+        clear_off: u32,
+        /// This context's flag-level slot.
+        ctx_id: u32,
+        /// First flag-level slot inside this context's subtree (slots
+        /// `ctx_lo..ctx_id` are the descendant contexts to reset).
+        ctx_lo: u32,
+        /// [`StructScope::Member`]: clear on instance-level commas too.
+        member: bool,
+    },
+}
+
+/// One combinator of the post-order node program. Primitive leaves need
+/// no op: their fire bits are ORed into the latch bitset during the
+/// primitive sweep, before the program runs.
+#[derive(Debug, Clone)]
+struct Op {
+    /// Bit index of this node in the latch bitset.
+    node: u32,
+    /// Mask offset of the direct-children mask.
+    mask_off: u32,
+    kind: OpKind,
+}
+
+/// A rare substring matcher with a block length beyond the packed-`u64`
+/// window (B > 8); the reference primitive is stepped directly (concrete
+/// type, no dispatch) in the same flat loop.
+#[derive(Debug, Clone)]
+struct WideSub {
+    matcher: SubstringMatcher,
+    node: u32,
+}
+
+/// The flattened, allocation-free batch execution engine.
+///
+/// Compile once, then stream any number of records through it; per-byte
+/// work is table lookups and bitset arithmetic with no heap traffic.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_core::{Engine, Expr};
+///
+/// let expr = Expr::context([
+///     Expr::substring(b"temperature", 1)?,
+///     Expr::float_range("0.7", "35.1")?,
+/// ]);
+/// let mut engine = Engine::compile(&expr);
+/// assert!(engine.accepts_record(br#"{"e":[{"v":"21.0","n":"temperature"}]}"#));
+/// assert!(!engine.accepts_record(br#"{"e":[{"v":"99.0","n":"temperature"}]}"#));
+/// # Ok::<(), rfjson_core::expr::ExprError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    expr: Expr,
+
+    // ---- node program (immutable after compile) ----
+    /// Bitset width in 64-bit words.
+    words: usize,
+    /// Bit index of the root node (accept signal).
+    root: u32,
+    /// Whether any context op exists — without one, no node reads the
+    /// structural facts and the whole scan (and the latch snapshot it
+    /// feeds) is skipped.
+    has_ctx: bool,
+    ops: Vec<Op>,
+    /// All child/clear masks, `words` u64s per mask, indexed by offset.
+    masks: Vec<u64>,
+
+    // ---- dense DFA units (exact strings and windows) ----
+    /// Concatenated dense tables (`states × 256` words each).
+    tables: Vec<u16>,
+    sdfa_off: Vec<u32>,
+    sdfa_start: Vec<u16>,
+    sdfa_node: Vec<u32>,
+
+    // ---- number-range units ----
+    num_off: Vec<u32>,
+    num_start: Vec<u16>,
+    num_node: Vec<u32>,
+
+    // ---- single-byte substring units (B = 1): 256-bit membership set ----
+    /// Four `u64` words per unit — bit `b` set iff byte `b` is one of the
+    /// needle's letters (the OR-reduced comparator bank of the paper,
+    /// collapsed into a bitmap).
+    sub1_bitmap: Vec<u64>,
+    sub1_target: Vec<u32>,
+    sub1_node: Vec<u32>,
+
+    // ---- packed substring units (2 ≤ B ≤ 8) ----
+    subp_win_mask: Vec<u64>,
+    subp_blocks_off: Vec<u32>,
+    subp_blocks_len: Vec<u32>,
+    subp_blocks: Vec<u64>,
+    subp_target: Vec<u32>,
+    subp_node: Vec<u32>,
+
+    wide_subs: Vec<WideSub>,
+
+    // ---- mutable per-stream state ----
+    latch: Vec<u64>,
+    prev: Vec<u64>,
+    flag_level: Vec<u32>,
+    sdfa_state: Vec<u16>,
+    num_state: Vec<u16>,
+    num_in_token: Vec<bool>,
+    sub1_counter: Vec<u32>,
+    subp_win: Vec<u64>,
+    subp_counter: Vec<u32>,
+    tracker: StreamTracker,
+}
+
+/// Builder state threaded through the post-order compile walk.
+#[derive(Default)]
+struct Builder {
+    words: usize,
+    next_node: u32,
+    next_ctx: u32,
+    ops: Vec<Op>,
+    masks: Vec<u64>,
+    tables: Vec<u16>,
+    sdfa_off: Vec<u32>,
+    sdfa_start: Vec<u16>,
+    sdfa_node: Vec<u32>,
+    num_off: Vec<u32>,
+    num_start: Vec<u16>,
+    num_node: Vec<u32>,
+    sub1_bitmap: Vec<u64>,
+    sub1_target: Vec<u32>,
+    sub1_node: Vec<u32>,
+    subp_win_mask: Vec<u64>,
+    subp_blocks_off: Vec<u32>,
+    subp_blocks_len: Vec<u32>,
+    subp_blocks: Vec<u64>,
+    subp_target: Vec<u32>,
+    subp_node: Vec<u32>,
+    wide_subs: Vec<WideSub>,
+}
+
+impl Builder {
+    fn alloc_node(&mut self) -> u32 {
+        let n = self.next_node;
+        self.next_node += 1;
+        n
+    }
+
+    fn alloc_mask(&mut self, bits: &[u32]) -> u32 {
+        let off = self.masks.len() as u32;
+        self.masks.extend(std::iter::repeat_n(0, self.words));
+        for &bit in bits {
+            self.masks[off as usize + bit as usize / 64] |= 1u64 << (bit % 64);
+        }
+        off
+    }
+
+    fn add_dense(&mut self, dfa: &rfjson_redfa::Dfa) -> (u32, u16) {
+        let off = self.tables.len() as u32;
+        self.tables.extend(dfa.dense_table());
+        (off, dfa.dense_start())
+    }
+
+    fn visit(&mut self, expr: &Expr) -> u32 {
+        match expr {
+            Expr::Str(spec) => {
+                let node = match spec.technique {
+                    StringTechnique::Dfa | StringTechnique::Window => {
+                        if spec.technique == StringTechnique::Window {
+                            // Validate through the reference primitive
+                            // (empty / NUL needles); then the window
+                            // compiles to the same `.*needle` automaton —
+                            // fire-identical to the shift register.
+                            let _ = WindowMatcher::new(&spec.needle);
+                        }
+                        let m = DfaStringMatcher::new(&spec.needle);
+                        let (off, start) = self.add_dense(m.dfa());
+                        let node = self.alloc_node();
+                        self.sdfa_off.push(off);
+                        self.sdfa_start.push(start);
+                        self.sdfa_node.push(node);
+                        node
+                    }
+                    StringTechnique::Substring(b) => {
+                        let m = SubstringMatcher::new(&spec.needle, b)
+                            .expect("expression was validated at compile time");
+                        let node = self.alloc_node();
+                        if b == 1 {
+                            let mut bitmap = [0u64; 4];
+                            for blk in m.blocks() {
+                                let x = blk[0];
+                                bitmap[(x >> 6) as usize] |= 1u64 << (x & 63);
+                            }
+                            self.sub1_bitmap.extend(bitmap);
+                            self.sub1_target.push(m.target());
+                            self.sub1_node.push(node);
+                        } else if b <= 8 {
+                            let off = self.subp_blocks.len() as u32;
+                            for blk in m.blocks() {
+                                let mut packed = 0u64;
+                                for &x in blk {
+                                    packed = (packed << 8) | u64::from(x);
+                                }
+                                self.subp_blocks.push(packed);
+                            }
+                            self.subp_win_mask.push(if b == 8 {
+                                u64::MAX
+                            } else {
+                                (1u64 << (8 * b)) - 1
+                            });
+                            self.subp_blocks_off.push(off);
+                            self.subp_blocks_len.push(m.blocks().len() as u32);
+                            self.subp_target.push(m.target());
+                            self.subp_node.push(node);
+                        } else {
+                            self.wide_subs.push(WideSub { matcher: m, node });
+                        }
+                        node
+                    }
+                };
+                node
+            }
+            Expr::Num(bounds) => {
+                let (off, start) = self.add_dense(&bounds.to_dfa());
+                let node = self.alloc_node();
+                self.num_off.push(off);
+                self.num_start.push(start);
+                self.num_node.push(node);
+                node
+            }
+            Expr::And(cs) | Expr::Or(cs) => {
+                let children: Vec<u32> = cs.iter().map(|c| self.visit(c)).collect();
+                let node = self.alloc_node();
+                let mask_off = self.alloc_mask(&children);
+                let kind = if matches!(expr, Expr::And(_)) {
+                    OpKind::And
+                } else {
+                    OpKind::Or
+                };
+                self.ops.push(Op {
+                    node,
+                    mask_off,
+                    kind,
+                });
+                node
+            }
+            Expr::Ctx(cs, scope) => {
+                let lo = self.next_node;
+                let ctx_lo = self.next_ctx;
+                let children: Vec<u32> = cs.iter().map(|c| self.visit(c)).collect();
+                let node = self.alloc_node();
+                let ctx_id = self.next_ctx;
+                self.next_ctx += 1;
+                let mask_off = self.alloc_mask(&children);
+                let descendants: Vec<u32> = (lo..node).collect();
+                let clear_off = self.alloc_mask(&descendants);
+                self.ops.push(Op {
+                    node,
+                    mask_off,
+                    kind: OpKind::Ctx {
+                        clear_off,
+                        ctx_id,
+                        ctx_lo,
+                        member: *scope == StructScope::Member,
+                    },
+                });
+                node
+            }
+        }
+    }
+}
+
+fn count_nodes(expr: &Expr) -> usize {
+    match expr {
+        Expr::Str(_) | Expr::Num(_) => 1,
+        Expr::And(cs) | Expr::Or(cs) | Expr::Ctx(cs, _) => {
+            1 + cs.iter().map(count_nodes).sum::<usize>()
+        }
+    }
+}
+
+impl Engine {
+    /// Compiles an expression into its flat table-driven form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression fails [`Expr::validate`] — construct
+    /// expressions through the smart constructors to avoid this.
+    pub fn compile(expr: &Expr) -> Engine {
+        expr.validate().expect("expression must be well-formed");
+        let num_nodes = count_nodes(expr);
+        let words = num_nodes.div_ceil(64);
+        let mut b = Builder {
+            words,
+            ..Builder::default()
+        };
+        let root = b.visit(expr);
+        debug_assert_eq!(b.next_node as usize, num_nodes);
+        Engine {
+            expr: expr.clone(),
+            words,
+            root,
+            has_ctx: b.next_ctx > 0,
+            ops: b.ops,
+            masks: b.masks,
+            tables: b.tables,
+            sdfa_state: b.sdfa_start.clone(),
+            sdfa_off: b.sdfa_off,
+            sdfa_start: b.sdfa_start,
+            sdfa_node: b.sdfa_node,
+            num_state: b.num_start.clone(),
+            num_in_token: vec![false; b.num_off.len()],
+            num_off: b.num_off,
+            num_start: b.num_start,
+            num_node: b.num_node,
+            sub1_counter: vec![0; b.sub1_target.len()],
+            sub1_bitmap: b.sub1_bitmap,
+            sub1_target: b.sub1_target,
+            sub1_node: b.sub1_node,
+            subp_win: vec![0; b.subp_win_mask.len()],
+            subp_counter: vec![0; b.subp_win_mask.len()],
+            subp_win_mask: b.subp_win_mask,
+            subp_blocks_off: b.subp_blocks_off,
+            subp_blocks_len: b.subp_blocks_len,
+            subp_blocks: b.subp_blocks,
+            subp_target: b.subp_target,
+            subp_node: b.subp_node,
+            wide_subs: b.wide_subs,
+            latch: vec![0; words],
+            prev: vec![0; words],
+            flag_level: vec![0; b.next_ctx as usize],
+            tracker: StreamTracker::new(),
+        }
+    }
+
+    /// The source expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Number of nodes in the flat program (primitives + combinators).
+    pub fn num_nodes(&self) -> usize {
+        self.root as usize + 1
+    }
+
+    /// Total size of the dense transition tables in bytes — the price of
+    /// the single-load fast path.
+    pub fn table_bytes(&self) -> usize {
+        self.tables.len() * std::mem::size_of::<u16>()
+    }
+
+    #[inline]
+    fn bit(v: &[u64], i: u32) -> bool {
+        v[i as usize / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(v: &mut [u64], i: u32) {
+        v[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Advances one cycle; returns the current (latched) record-accept
+    /// signal. Bit-identical to
+    /// [`CompiledFilter::on_byte`](crate::evaluator::CompiledFilter::on_byte).
+    #[inline]
+    pub fn on_byte(&mut self, byte: u8) -> bool {
+        let mut depth = 0u32;
+        let mut is_close = false;
+        let mut is_comma = false;
+        if self.has_ctx {
+            // One structural scan (shared StreamTracker: string mask +
+            // depth + close/comma via the byte-class LUT), skipped wholesale
+            // when no context op will read it.
+            let info = self.tracker.on_byte(byte);
+            depth = info.depth;
+            is_close = info.is_close;
+            is_comma = info.is_comma;
+            // Snapshot latches: context pending-before checks need the
+            // pre-cycle state of their children.
+            self.prev.copy_from_slice(&self.latch);
+        }
+        self.step_primitives(byte);
+        self.run_program(depth, is_close, is_comma)
+    }
+
+    /// Primitive sweep — flat loops, no dispatch; fire bits are ORed into
+    /// the latch bitset.
+    #[inline]
+    fn step_primitives(&mut self, byte: u8) {
+        for i in 0..self.sdfa_state.len() {
+            let s = self.sdfa_state[i];
+            let s = self.tables
+                [self.sdfa_off[i] as usize + (s & STATE_MASK) as usize * 256 + byte as usize];
+            self.sdfa_state[i] = s;
+            if s & DENSE_ACCEPT_BIT != 0 {
+                Self::set_bit(&mut self.latch, self.sdfa_node[i]);
+            }
+        }
+        let num_byte = is_number_byte(byte);
+        for i in 0..self.num_state.len() {
+            if num_byte {
+                let s = self.num_state[i];
+                self.num_state[i] = self.tables
+                    [self.num_off[i] as usize + (s & STATE_MASK) as usize * 256 + byte as usize];
+                self.num_in_token[i] = true;
+            } else if self.num_in_token[i] {
+                // Token boundary: the automaton is evaluated, then rearmed.
+                // (Outside tokens the state already sits at start.)
+                if self.num_state[i] & DENSE_ACCEPT_BIT != 0 {
+                    Self::set_bit(&mut self.latch, self.num_node[i]);
+                }
+                self.num_state[i] = self.num_start[i];
+                self.num_in_token[i] = false;
+            }
+        }
+        for i in 0..self.sub1_counter.len() {
+            let hit = self.sub1_bitmap[i * 4 + (byte >> 6) as usize] & (1u64 << (byte & 63)) != 0;
+            let c = if hit {
+                self.sub1_counter[i].saturating_add(1)
+            } else {
+                0
+            };
+            self.sub1_counter[i] = c;
+            if c >= self.sub1_target[i] {
+                Self::set_bit(&mut self.latch, self.sub1_node[i]);
+            }
+        }
+        for i in 0..self.subp_win.len() {
+            let w = ((self.subp_win[i] << 8) | u64::from(byte)) & self.subp_win_mask[i];
+            self.subp_win[i] = w;
+            let off = self.subp_blocks_off[i] as usize;
+            let len = self.subp_blocks_len[i] as usize;
+            let hit = self.subp_blocks[off..off + len].contains(&w);
+            let c = if hit {
+                self.subp_counter[i].saturating_add(1)
+            } else {
+                0
+            };
+            self.subp_counter[i] = c;
+            if c >= self.subp_target[i] {
+                Self::set_bit(&mut self.latch, self.subp_node[i]);
+            }
+        }
+        for ws in &mut self.wide_subs {
+            if ws.matcher.on_byte(byte) {
+                Self::set_bit(&mut self.latch, ws.node);
+            }
+        }
+    }
+
+    /// Node program: post-order, so children are final before their
+    /// parent evaluates; latch updates are bitwise mask ops. The
+    /// one-word case (≤ 64 nodes — every realistic filter) keeps the
+    /// whole latch bitset in a register across the program. Returns the
+    /// root (record-accept) latch.
+    #[inline]
+    fn run_program(&mut self, depth: u32, is_close: bool, is_comma: bool) -> bool {
+        if self.words == 1 {
+            let mut l = self.latch[0];
+            let p = self.prev[0];
+            for op in &self.ops {
+                let m = self.masks[op.mask_off as usize];
+                match &op.kind {
+                    OpKind::And => {
+                        if l & m == m {
+                            l |= 1u64 << op.node;
+                        }
+                    }
+                    OpKind::Or => {
+                        if l & m != 0 {
+                            l |= 1u64 << op.node;
+                        }
+                    }
+                    OpKind::Ctx {
+                        clear_off,
+                        ctx_id,
+                        ctx_lo,
+                        member,
+                    } => {
+                        let v = l & m;
+                        let any = v != 0;
+                        if !any && p & m == 0 {
+                            continue; // nothing pending, nothing fired
+                        }
+                        if p & m == 0 {
+                            self.flag_level[*ctx_id as usize] = depth;
+                        }
+                        if v == m {
+                            l |= 1u64 << op.node;
+                        }
+                        if any {
+                            let fl = self.flag_level[*ctx_id as usize];
+                            let end =
+                                (is_close && depth <= fl) || (*member && is_comma && depth == fl);
+                            if end {
+                                l &= !self.masks[*clear_off as usize];
+                                for fl in &mut self.flag_level[*ctx_lo as usize..*ctx_id as usize] {
+                                    *fl = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.latch[0] = l;
+            return l & (1u64 << self.root) != 0;
+        }
+        for op in &self.ops {
+            let mask = &self.masks[op.mask_off as usize..op.mask_off as usize + self.words];
+            match &op.kind {
+                OpKind::And => {
+                    let all = mask.iter().zip(&self.latch).all(|(m, l)| l & m == *m);
+                    if all {
+                        Self::set_bit(&mut self.latch, op.node);
+                    }
+                }
+                OpKind::Or => {
+                    let any = mask.iter().zip(&self.latch).any(|(m, l)| l & m != 0);
+                    if any {
+                        Self::set_bit(&mut self.latch, op.node);
+                    }
+                }
+                OpKind::Ctx {
+                    clear_off,
+                    ctx_id,
+                    ctx_lo,
+                    member,
+                } => {
+                    let mut any = false;
+                    let mut all = true;
+                    let mut pending_before = false;
+                    for (w, m) in mask.iter().enumerate() {
+                        let v = self.latch[w] & m;
+                        any |= v != 0;
+                        all &= v == *m;
+                        pending_before |= self.prev[w] & m != 0;
+                    }
+                    // First fire of a fresh instance records the level.
+                    if !pending_before && any {
+                        self.flag_level[*ctx_id as usize] = depth;
+                    }
+                    if all {
+                        Self::set_bit(&mut self.latch, op.node);
+                    }
+                    // Instance end: clear pending descendant latches.
+                    if any {
+                        let fl = self.flag_level[*ctx_id as usize];
+                        let end = (is_close && depth <= fl) || (*member && is_comma && depth == fl);
+                        if end {
+                            let clear =
+                                &self.masks[*clear_off as usize..*clear_off as usize + self.words];
+                            for (l, c) in self.latch.iter_mut().zip(clear) {
+                                *l &= !c;
+                            }
+                            for fl in &mut self.flag_level[*ctx_lo as usize..*ctx_id as usize] {
+                                *fl = 0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self::bit(&self.latch, self.root)
+    }
+
+    /// Record-boundary reset: latches, primitive state, structural state.
+    pub fn reset(&mut self) {
+        self.latch.fill(0);
+        self.flag_level.fill(0);
+        self.sdfa_state.copy_from_slice(&self.sdfa_start);
+        self.num_state.copy_from_slice(&self.num_start);
+        self.num_in_token.fill(false);
+        self.sub1_counter.fill(0);
+        self.subp_win.fill(0);
+        self.subp_counter.fill(0);
+        for ws in &mut self.wide_subs {
+            ws.matcher.reset();
+        }
+        self.tracker.reset();
+    }
+
+    /// Scans one record (appending the `\n` separator the hardware sees)
+    /// and returns the accept decision. Resets on entry, like
+    /// [`CompiledFilter::accepts_record`](crate::evaluator::CompiledFilter::accepts_record).
+    pub fn accepts_record(&mut self, record: &[u8]) -> bool {
+        self.reset();
+        let mut accept = false;
+        for &b in record {
+            accept = self.on_byte(b);
+        }
+        self.on_byte(b'\n') || accept
+    }
+
+    /// Filters a newline-delimited stream, returning the per-record accept
+    /// decisions. Framing (CR handling, blank lines, trailing partial
+    /// record) matches
+    /// [`CompiledFilter::filter_stream`](crate::evaluator::CompiledFilter::filter_stream)
+    /// exactly.
+    pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.filter_stream_into(stream, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`Engine::filter_stream`]: appends one
+    /// decision per record to `out`.
+    pub fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
+        crate::framing::filter_stream_into(self, stream, out);
+    }
+}
+
+impl crate::framing::ByteSerial for Engine {
+    fn on_byte(&mut self, byte: u8) -> bool {
+        Engine::on_byte(self, byte)
+    }
+
+    fn reset(&mut self) {
+        Engine::reset(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::CompiledFilter;
+
+    const LISTING1: &[u8] = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"},{"v":"713","u":"per","n":"light"},{"v":"305.01","u":"per","n":"dust"},{"v":"20","u":"per","n":"airquality_raw"}],"bt":1422748800000}"#;
+
+    fn ctx_temp() -> Expr {
+        Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ])
+    }
+
+    /// Per-byte differential check against the co-simulation model.
+    fn assert_bytewise_equal(expr: &Expr, record: &[u8]) {
+        let mut engine = Engine::compile(expr);
+        let mut filter = CompiledFilter::compile(expr);
+        engine.reset();
+        filter.reset();
+        for (i, &b) in record.iter().chain(b"\n").enumerate() {
+            assert_eq!(
+                engine.on_byte(b),
+                filter.on_byte(b),
+                "expr `{expr}` diverges at byte {i} of {:?}",
+                String::from_utf8_lossy(record)
+            );
+        }
+    }
+
+    #[test]
+    fn structural_context_rejects_listing1() {
+        let mut e = Engine::compile(&ctx_temp());
+        assert!(!e.accepts_record(LISTING1));
+    }
+
+    #[test]
+    fn structural_context_accepts_true_match() {
+        let mut e = Engine::compile(&ctx_temp());
+        let rec = br#"{"e":[{"v":"21.4","u":"far","n":"temperature"},{"v":"99","u":"per","n":"humidity"}],"bt":1}"#;
+        assert!(e.accepts_record(rec));
+    }
+
+    #[test]
+    fn member_scope_key_value() {
+        let e = Expr::context_scoped(
+            StructScope::Member,
+            [
+                Expr::substring(b"tolls_amount", 2).unwrap(),
+                Expr::float_range("2.50", "18.00").unwrap(),
+            ],
+        );
+        let mut eng = Engine::compile(&e);
+        assert!(!eng
+            .accepts_record(br#"{"fare_amount":11.50,"tolls_amount":0.00,"total_amount":12.00}"#));
+        assert!(eng
+            .accepts_record(br#"{"fare_amount":11.50,"tolls_amount":5.33,"total_amount":17.33}"#));
+    }
+
+    #[test]
+    fn filter_stream_per_record_decisions() {
+        let mut e = Engine::compile(&Expr::int_range(1, 5));
+        let stream = b"{\"a\":3}\n{\"a\":9}\n{\"a\":4}";
+        assert_eq!(e.filter_stream(stream), vec![true, false, true]);
+    }
+
+    #[test]
+    fn state_does_not_leak_across_records() {
+        let mut e = Engine::compile(&Expr::and([
+            Expr::substring(b"alpha", 2).unwrap(),
+            Expr::substring(b"beta", 2).unwrap(),
+        ]));
+        let stream = b"{\"k\":\"alpha\"}\n{\"k\":\"beta\"}\n";
+        assert_eq!(e.filter_stream(stream), vec![false, false]);
+    }
+
+    #[test]
+    fn crlf_and_blank_line_framing_matches_filter() {
+        let expr = Expr::int_range(1, 5);
+        let mut e = Engine::compile(&expr);
+        let mut f = CompiledFilter::compile(&expr);
+        let stream = b"{\"a\":3}\r\n\r\n{\"a\":9}\n\n{\"a\":2}";
+        assert_eq!(e.filter_stream(stream), f.filter_stream(stream));
+        assert_eq!(e.filter_stream(stream), vec![true, false, true]);
+    }
+
+    // The broad differential zoo (every technique × adversarial records ×
+    // generated corpora × proptests) lives in tests/engine_diff.rs; the
+    // tests here cover engine-internal specifics only.
+
+    #[test]
+    fn node_and_table_accounting() {
+        let e = Engine::compile(&ctx_temp());
+        assert_eq!(e.num_nodes(), 3, "two primitives + one context");
+        assert!(e.table_bytes() > 0, "number automaton is table-backed");
+    }
+
+    #[test]
+    fn many_nodes_cross_word_boundary() {
+        // > 64 nodes forces multi-word bitsets through every mask path.
+        let leaves: Vec<Expr> = (0..70).map(|i| Expr::int_range(i, i + 1)).collect();
+        let expr = Expr::Or(leaves);
+        let mut eng = Engine::compile(&expr);
+        let mut f = CompiledFilter::compile(&expr);
+        for rec in [&b"{\"a\":3}"[..], b"{\"a\":69}", b"{\"a\":200}"] {
+            assert_eq!(eng.accepts_record(rec), f.accepts_record(rec));
+        }
+    }
+
+    #[test]
+    fn many_nodes_with_contexts_cross_word_boundary() {
+        // > 64 nodes *with contexts* drives the multi-word Ctx arm
+        // (pending_before word loop, clear-mask slicing, flag resets),
+        // per-byte against the model.
+        let pairs: Vec<Expr> = (0..30)
+            .map(|i| {
+                let key = format!("k{i}");
+                Expr::context_scoped(
+                    if i % 2 == 0 {
+                        StructScope::Object
+                    } else {
+                        StructScope::Member
+                    },
+                    [
+                        Expr::substring(key.as_bytes(), 1).unwrap(),
+                        Expr::int_range(i, i + 10),
+                    ],
+                )
+            })
+            .collect();
+        let expr = Expr::Or(pairs); // 30 × 3 + 1 = 91 nodes
+        assert!(Engine::compile(&expr).num_nodes() > 64);
+        let records: Vec<&[u8]> = vec![
+            br#"{"k5":7,"k6":99}"#,
+            br#"{"e":[{"k12":13},{"k12":99}],"x":1}"#,
+            br#"{"k29":"39","other":[1,2
+,3]}"#,
+            br#"{"nothing":true}"#,
+            b"}{,\"k1\":2,",
+        ];
+        for record in &records {
+            assert_bytewise_equal(&expr, record);
+        }
+    }
+}

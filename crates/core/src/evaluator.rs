@@ -16,7 +16,7 @@ use crate::expr::{Expr, StringSpec, StringTechnique, StructScope};
 use crate::primitive::{
     DfaStringMatcher, FireFilter, NumberMatcher, SubstringMatcher, WindowMatcher,
 };
-use rfjson_jsonstream::StringMask;
+use rfjson_jsonstream::{ByteClass, StringMask, BYTE_CLASS};
 
 /// Per-byte structural facts shared by all nodes of a filter (computed
 /// once per cycle by the shared mask/nesting logic, as in hardware).
@@ -47,48 +47,33 @@ impl StreamTracker {
     }
 
     /// Consumes one byte.
+    #[inline]
     pub fn on_byte(&mut self, byte: u8) -> ByteInfo {
         let masked = self.mask.on_byte(byte);
-        if masked {
-            return ByteInfo {
-                byte,
-                depth: self.depth,
-                is_close: false,
-                is_comma: false,
-            };
+        let mut depth = self.depth;
+        let mut is_close = false;
+        let mut is_comma = false;
+        if !masked {
+            match BYTE_CLASS[byte as usize] {
+                ByteClass::Open => {
+                    // Open-bracket bytes already count inside the new level.
+                    self.depth += 1;
+                    depth = self.depth;
+                }
+                ByteClass::Close => {
+                    // Close-bracket bytes still count inside the old level.
+                    is_close = true;
+                    self.depth = depth.saturating_sub(1);
+                }
+                ByteClass::Comma => is_comma = true,
+                _ => {}
+            }
         }
-        match byte {
-            b'{' | b'[' => {
-                self.depth += 1;
-                ByteInfo {
-                    byte,
-                    depth: self.depth,
-                    is_close: false,
-                    is_comma: false,
-                }
-            }
-            b'}' | b']' => {
-                let d = self.depth;
-                self.depth = self.depth.saturating_sub(1);
-                ByteInfo {
-                    byte,
-                    depth: d,
-                    is_close: true,
-                    is_comma: false,
-                }
-            }
-            b',' => ByteInfo {
-                byte,
-                depth: self.depth,
-                is_close: false,
-                is_comma: true,
-            },
-            _ => ByteInfo {
-                byte,
-                depth: self.depth,
-                is_close: false,
-                is_comma: false,
-            },
+        ByteInfo {
+            byte,
+            depth,
+            is_close,
+            is_comma,
         }
     }
 
@@ -118,6 +103,7 @@ impl Prim {
         }
     }
 
+    #[inline]
     fn on_byte(&mut self, b: u8) -> bool {
         match self {
             Prim::Dfa(m) => m.on_byte(b),
@@ -247,6 +233,7 @@ impl EvalNode {
         }
     }
 
+    #[inline]
     fn is_latched(&self) -> bool {
         match self {
             EvalNode::Prim { fired, .. }
@@ -358,6 +345,7 @@ impl CompiledFilter {
 
     /// Advances one cycle; returns the current (latched) record-accept
     /// signal.
+    #[inline]
     pub fn on_byte(&mut self, byte: u8) -> bool {
         let info = self.tracker.on_byte(byte);
         self.root.on_byte(&info)
@@ -370,46 +358,35 @@ impl CompiledFilter {
     }
 
     /// Scans one record (appending the `\n` separator the hardware sees)
-    /// and returns the accept decision. Resets before and after.
+    /// and returns the accept decision. Resets on entry, so repeated calls
+    /// are independent; the filter is left in the post-record state.
     pub fn accepts_record(&mut self, record: &[u8]) -> bool {
         self.reset();
         let mut accept = false;
         for &b in record {
             accept = self.on_byte(b);
         }
-        accept = self.on_byte(b'\n') || accept;
-        self.reset();
-        accept
+        self.on_byte(b'\n') || accept
     }
 
     /// Filters a newline-delimited stream, returning the per-record accept
     /// decisions (the match-signal DMA write-back of the paper's system).
+    /// Framing rules are shared with [`Engine`](crate::engine::Engine) via
+    /// `crate::framing`.
     pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
-        self.reset();
         let mut out = Vec::new();
-        let mut saw_bytes = false;
-        let mut accept = false;
-        for &b in stream {
-            accept = self.on_byte(b);
-            if b == b'\n' {
-                if saw_bytes {
-                    out.push(accept);
-                }
-                self.reset();
-                saw_bytes = false;
-                accept = false;
-            } else if b != b'\r' {
-                // CR before LF (or a stray blank CRLF line) is framing,
-                // not record content.
-                saw_bytes = true;
-            }
-        }
-        if saw_bytes {
-            accept = self.on_byte(b'\n') || accept;
-            out.push(accept);
-            self.reset();
-        }
+        crate::framing::filter_stream_into(self, stream, &mut out);
         out
+    }
+}
+
+impl crate::framing::ByteSerial for CompiledFilter {
+    fn on_byte(&mut self, byte: u8) -> bool {
+        CompiledFilter::on_byte(self, byte)
+    }
+
+    fn reset(&mut self) {
+        CompiledFilter::reset(self);
     }
 }
 

@@ -1,0 +1,46 @@
+//! Shared NDJSON framing for byte-serial filter execution.
+//!
+//! Both execution paths ([`CompiledFilter`](crate::evaluator::CompiledFilter)
+//! and [`Engine`](crate::engine::Engine)) must frame a newline-delimited
+//! stream identically — CR handling, blank lines, trailing partial record —
+//! or their decision vectors diverge. The rules live exactly once, here,
+//! generic over the per-byte interface.
+
+/// A byte-serial filter: one latched accept signal per byte, plus a
+/// record-boundary reset.
+pub(crate) trait ByteSerial {
+    fn on_byte(&mut self, byte: u8) -> bool;
+    fn reset(&mut self);
+}
+
+/// Filters a newline-delimited stream, appending one accept decision per
+/// record to `out` (the match-signal DMA write-back of the paper's
+/// system).
+///
+/// `\n` separates records; a record that is empty after stripping `\r`
+/// (CR before LF, or a stray blank CRLF line — framing, not record
+/// content) produces no decision; a trailing record without a separator
+/// is closed with the `\n` the hardware would see.
+pub(crate) fn filter_stream_into<F: ByteSerial>(f: &mut F, stream: &[u8], out: &mut Vec<bool>) {
+    f.reset();
+    let mut saw_bytes = false;
+    let mut accept = false;
+    for &b in stream {
+        accept = f.on_byte(b);
+        if b == b'\n' {
+            if saw_bytes {
+                out.push(accept);
+            }
+            f.reset();
+            saw_bytes = false;
+            accept = false;
+        } else if b != b'\r' {
+            saw_bytes = true;
+        }
+    }
+    if saw_bytes {
+        accept = f.on_byte(b'\n') || accept;
+        out.push(accept);
+        f.reset();
+    }
+}

@@ -1,0 +1,73 @@
+//! Structural byte classification via a 256-entry lookup table.
+//!
+//! The hardware derives every structural fact (§III-C) from a handful of
+//! byte comparisons that synthesis folds into one LUT stage. The software
+//! equivalent is a single table lookup per byte: [`BYTE_CLASS`] maps each
+//! byte to its [`ByteClass`], and all structural trackers (string mask,
+//! nesting, comma detection) branch on the class instead of re-comparing
+//! the byte against every special character.
+
+/// The structural role of a byte outside string literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ByteClass {
+    /// No structural meaning.
+    Other = 0,
+    /// `"` — string delimiter.
+    Quote = 1,
+    /// `\` — escape introducer (only meaningful inside strings).
+    Backslash = 2,
+    /// `{` or `[` — nesting opener.
+    Open = 3,
+    /// `}` or `]` — nesting closer.
+    Close = 4,
+    /// `,` — member/element separator.
+    Comma = 5,
+}
+
+/// 256-entry byte → [`ByteClass`] table, the software image of the
+/// hardware's byte-decode LUT stage.
+pub const BYTE_CLASS: [ByteClass; 256] = {
+    let mut table = [ByteClass::Other; 256];
+    table[b'"' as usize] = ByteClass::Quote;
+    table[b'\\' as usize] = ByteClass::Backslash;
+    table[b'{' as usize] = ByteClass::Open;
+    table[b'[' as usize] = ByteClass::Open;
+    table[b'}' as usize] = ByteClass::Close;
+    table[b']' as usize] = ByteClass::Close;
+    table[b',' as usize] = ByteClass::Comma;
+    table
+};
+
+/// The structural class of one byte.
+#[inline]
+pub fn classify(b: u8) -> ByteClass {
+    BYTE_CLASS[b as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_specials() {
+        assert_eq!(classify(b'"'), ByteClass::Quote);
+        assert_eq!(classify(b'\\'), ByteClass::Backslash);
+        assert_eq!(classify(b'{'), ByteClass::Open);
+        assert_eq!(classify(b'['), ByteClass::Open);
+        assert_eq!(classify(b'}'), ByteClass::Close);
+        assert_eq!(classify(b']'), ByteClass::Close);
+        assert_eq!(classify(b','), ByteClass::Comma);
+    }
+
+    #[test]
+    fn every_other_byte_is_other() {
+        let specials = [b'"', b'\\', b'{', b'[', b'}', b']', b','];
+        for b in 0u16..256 {
+            let b = b as u8;
+            if !specials.contains(&b) {
+                assert_eq!(classify(b), ByteClass::Other, "byte {b}");
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classify;
 pub mod frame;
 pub mod mask;
 pub mod nesting;
@@ -26,6 +27,7 @@ pub mod parser;
 pub mod value;
 pub mod write;
 
+pub use classify::{classify, ByteClass, BYTE_CLASS};
 pub use mask::StringMask;
 pub use nesting::NestingTracker;
 pub use parser::{parse, ParseJsonError};

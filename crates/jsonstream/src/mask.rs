@@ -37,6 +37,7 @@ impl StringMask {
 
     /// Consumes one byte; returns `true` if that byte is part of a string
     /// literal (masked).
+    #[inline]
     pub fn on_byte(&mut self, b: u8) -> bool {
         if self.in_string {
             if self.escaped {
@@ -66,10 +67,36 @@ impl StringMask {
         *self = Self::default();
     }
 
+    /// Batch form of [`StringMask::on_byte`]: scans `input` in one pass,
+    /// appending one mask bit per byte to `out`, so callers can reuse one
+    /// buffer across records instead of allocating per scan.
+    ///
+    /// State carries over between calls exactly as with repeated
+    /// `on_byte`, so a string literal split across two scans stays masked.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rfjson_jsonstream::StringMask;
+    ///
+    /// let mut m = StringMask::new();
+    /// let mut mask = Vec::new();
+    /// m.scan(br#"{"a":1}"#, &mut mask);
+    /// assert_eq!(mask, StringMask::mask_of(br#"{"a":1}"#));
+    /// ```
+    pub fn scan(&mut self, input: &[u8], out: &mut Vec<bool>) {
+        out.reserve(input.len());
+        for &b in input {
+            out.push(self.on_byte(b));
+        }
+    }
+
     /// Convenience: the mask of every byte of `input`.
     pub fn mask_of(input: &[u8]) -> Vec<bool> {
         let mut m = StringMask::new();
-        input.iter().map(|&b| m.on_byte(b)).collect()
+        let mut out = Vec::with_capacity(input.len());
+        m.scan(input, &mut out);
+        out
     }
 }
 
@@ -131,6 +158,24 @@ mod tests {
         m.reset();
         assert!(!m.in_string());
         assert!(!m.on_byte(b'x'));
+    }
+
+    #[test]
+    fn scan_carries_state_across_calls() {
+        let mut m = StringMask::new();
+        let mut out = Vec::new();
+        // Split a record mid-string: the second chunk starts masked.
+        m.scan(br#"{"ke"#, &mut out);
+        m.scan(br#"y":1}"#, &mut out);
+        assert_eq!(out, StringMask::mask_of(br#"{"key":1}"#));
+    }
+
+    #[test]
+    fn scan_appends_without_clearing() {
+        let mut m = StringMask::new();
+        let mut out = vec![true];
+        m.scan(b"x", &mut out);
+        assert_eq!(out, vec![true, false], "existing entries preserved");
     }
 
     #[test]

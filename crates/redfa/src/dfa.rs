@@ -13,6 +13,11 @@ use rfjson_rtl::components::ByteSet;
 use std::collections::HashMap;
 use std::fmt;
 
+/// Accept flag carried in the MSB of every [`Dfa::dense_table`] state
+/// word: `word & DENSE_ACCEPT_BIT != 0` means the state accepts, and
+/// `word & !DENSE_ACCEPT_BIT` is the state index for the next row lookup.
+pub const DENSE_ACCEPT_BIT: u16 = 0x8000;
+
 /// A complete DFA over bytes.
 ///
 /// # Example
@@ -179,6 +184,48 @@ impl Dfa {
     pub fn step(&self, state: u16, byte: u8) -> u16 {
         let c = self.class_of[byte as usize] as usize;
         self.trans[state as usize * self.num_classes + c]
+    }
+
+    /// Exports the automaton as a dense row-major table for table-driven
+    /// execution: `table[s * 256 + b]` is the successor of state `s` on
+    /// byte `b`, with [`DENSE_ACCEPT_BIT`] set iff that successor accepts.
+    ///
+    /// The class indirection of [`Dfa::step`] (two dependent loads per
+    /// byte) collapses into a single load; the accept flag rides in the
+    /// state word so no second `accept[]` lookup is needed either.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DFA has ≥ 2¹⁵ states (the accept bit needs the MSB).
+    pub fn dense_table(&self) -> Vec<u16> {
+        assert!(
+            self.num_states() < DENSE_ACCEPT_BIT as usize,
+            "dense table limited to {} states",
+            DENSE_ACCEPT_BIT
+        );
+        let mut table = Vec::with_capacity(self.num_states() * 256);
+        for s in 0..self.num_states() as u16 {
+            for b in 0..=255u8 {
+                let next = self.step(s, b);
+                let accept = if self.is_accept(next) {
+                    DENSE_ACCEPT_BIT
+                } else {
+                    0
+                };
+                table.push(next | accept);
+            }
+        }
+        table
+    }
+
+    /// The start state in dense-table encoding (accept bit folded in).
+    pub fn dense_start(&self) -> u16 {
+        let accept = if self.is_accept(self.start) {
+            DENSE_ACCEPT_BIT
+        } else {
+            0
+        };
+        self.start | accept
     }
 
     /// Transition by class id (used by elaboration).
@@ -467,6 +514,43 @@ mod tests {
         let b = dfa("b");
         assert!(a.intersect(&b).is_empty_language());
         assert!(!a.union(&b).is_empty_language());
+    }
+
+    #[test]
+    fn dense_table_equivalent_to_step_on_all_pairs() {
+        for pattern in ["abc", "(ab|c)*", "[0-9]{1,3}", ".*temperature", "a+b?c*"] {
+            let d = dfa(pattern).minimized();
+            let table = d.dense_table();
+            assert_eq!(table.len(), d.num_states() * 256);
+            for s in 0..d.num_states() as u16 {
+                for b in 0u16..256 {
+                    let word = table[s as usize * 256 + b as usize];
+                    let next = word & !DENSE_ACCEPT_BIT;
+                    assert_eq!(next, d.step(s, b as u8), "pattern {pattern} ({s},{b})");
+                    assert_eq!(
+                        word & DENSE_ACCEPT_BIT != 0,
+                        d.is_accept(next),
+                        "pattern {pattern} accept bit ({s},{b})"
+                    );
+                }
+            }
+            let start = d.dense_start();
+            assert_eq!(start & !DENSE_ACCEPT_BIT, d.start());
+            assert_eq!(start & DENSE_ACCEPT_BIT != 0, d.is_accept(d.start()));
+        }
+    }
+
+    #[test]
+    fn dense_table_run_matches_accepts() {
+        let d = dfa(".*cat").minimized();
+        let table = d.dense_table();
+        let mut word = d.dense_start();
+        let mut fired = false;
+        for &b in b"concatenate" {
+            word = table[(word & !DENSE_ACCEPT_BIT) as usize * 256 + b as usize];
+            fired |= word & DENSE_ACCEPT_BIT != 0;
+        }
+        assert!(fired, "dense walk sees the embedded needle");
     }
 
     #[test]

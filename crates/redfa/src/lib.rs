@@ -53,6 +53,6 @@ pub mod nfa;
 pub mod range;
 pub mod regex;
 
-pub use dfa::Dfa;
+pub use dfa::{Dfa, DENSE_ACCEPT_BIT};
 pub use range::{Decimal, NumberBounds};
 pub use regex::Regex;

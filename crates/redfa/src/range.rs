@@ -26,8 +26,9 @@ use std::str::FromStr;
 pub const NUMBER_BYTES: &[u8] = b"0123456789+-.eE";
 
 /// Returns `true` if `b` may appear inside a number token.
+#[inline]
 pub fn is_number_byte(b: u8) -> bool {
-    NUMBER_BYTES.contains(&b)
+    matches!(b, b'0'..=b'9' | b'+' | b'-' | b'.' | b'e' | b'E')
 }
 
 /// An exact decimal value: sign, integer digits, fraction digits.

@@ -49,11 +49,18 @@ impl Dataset {
     /// The newline-delimited stream form fed to the filter hardware.
     pub fn stream(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.payload_bytes() + self.len());
+        self.stream_into(&mut out);
+        out
+    }
+
+    /// Appends the newline-delimited stream form to `out` (buffer-reusing
+    /// counterpart of [`Dataset::stream`] for repeated measurements).
+    pub fn stream_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.payload_bytes() + self.len());
         for r in &self.records {
             out.extend_from_slice(r);
             out.push(b'\n');
         }
-        out
     }
 
     /// Parses every record (the ground-truth oracle path).

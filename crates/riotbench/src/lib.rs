@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod dataset;
 pub mod dist;
 pub mod queries;
@@ -36,5 +37,6 @@ pub mod taxi;
 pub mod text;
 pub mod twitter;
 
+pub use corpus::{smartcity_corpus, taxi_corpus, twitter_corpus, CORPUS_SEED};
 pub use dataset::Dataset;
 pub use queries::{AttrKind, Query, RangePredicate, RecordShape};

@@ -1,0 +1,209 @@
+//! Differential property tests: the flat batch [`Engine`] must be
+//! **bit-identical, byte-for-byte** to the cosim-faithful
+//! [`CompiledFilter`] — not just on final record decisions but on the
+//! per-byte latched accept signal. The engine is only allowed to be
+//! faster, never different.
+
+use proptest::prelude::*;
+use rfjson_core::engine::Engine;
+use rfjson_core::evaluator::CompiledFilter;
+use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::query::query_to_exprs;
+use rfjson_riotbench::{smartcity, taxi, twitter, Query};
+
+/// Steps both execution paths over `record + '\n'` and asserts the accept
+/// signal matches on **every byte**.
+fn assert_bytewise(expr: &Expr, record: &[u8]) {
+    let mut engine = Engine::compile(expr);
+    let mut model = CompiledFilter::compile(expr);
+    engine.reset();
+    model.reset();
+    for (i, &b) in record.iter().chain(b"\n").enumerate() {
+        let e = engine.on_byte(b);
+        let m = model.on_byte(b);
+        assert_eq!(
+            e,
+            m,
+            "expr `{expr}` diverges at byte {i} ({:?}) of record {:?}",
+            b as char,
+            String::from_utf8_lossy(record)
+        );
+    }
+}
+
+/// Expressions covering every primitive technique, every combinator,
+/// both structural scopes, and nesting of contexts.
+fn expression_zoo() -> Vec<Expr> {
+    vec![
+        Expr::substring(b"temperature", 1).unwrap(),
+        Expr::substring(b"tolls_amount", 2).unwrap(),
+        Expr::substring(b"dust", 4).unwrap(),
+        Expr::substring(b"favourites_count", 9).unwrap(), // wide blocks (B > 8)
+        Expr::window(b"light").unwrap(),
+        Expr::dfa_string(b"humidity").unwrap(),
+        Expr::int_range(12, 49),
+        Expr::float_range("-12.5", "43.1").unwrap(),
+        Expr::and([
+            Expr::substring(b"light", 1).unwrap(),
+            Expr::int_range(1345, 26282),
+        ]),
+        Expr::or([
+            Expr::substring(b"cat", 1).unwrap(),
+            Expr::substring(b"dog", 1).unwrap(),
+        ]),
+        Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]),
+        Expr::context_scoped(
+            StructScope::Member,
+            [
+                Expr::substring(b"tolls_amount", 2).unwrap(),
+                Expr::float_range("2.50", "18.00").unwrap(),
+            ],
+        ),
+        query_to_exprs(&Query::qs0(), 1).unwrap(),
+        query_to_exprs(&Query::qt(), 2).unwrap(),
+        // Context nested under OR nested under context.
+        Expr::context([
+            Expr::or([
+                Expr::context([Expr::substring(b"n", 1).unwrap(), Expr::int_range(0, 9)]),
+                Expr::window(b"dust").unwrap(),
+            ]),
+            Expr::float_range("0.5", "1.5").unwrap(),
+        ]),
+    ]
+}
+
+#[test]
+fn engine_equals_model_on_generated_corpora() {
+    let datasets = [
+        smartcity::generate(77, 40),
+        taxi::generate(78, 40),
+        twitter::generate(79, 25),
+    ];
+    for expr in expression_zoo() {
+        for ds in &datasets {
+            for record in ds.records() {
+                assert_bytewise(&expr, record);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_equals_model_on_adversarial_inputs() {
+    // The edge-case records of tests/edge_cases.rs: escapes, hostile
+    // bracket soup, deep nesting, truncation, binary garbage.
+    let records: Vec<&[u8]> = vec![
+        b"",
+        b"   ",
+        b"{}",
+        b"null",
+        br#"{"e":[{"v":"21.0","n":"temperature""#,
+        b"}}}}]]]]",
+        b"{{{{",
+        br#""temperature" 21.0"#,
+        b"\xff\xfe\x00\x01",
+        br#"{"e":[{"u":"}{][","v":"21.0","n":"temperature"}],"bt":1}"#,
+        br#"{"e":[{"u":"a\"}b","v":"21.0","n":"temperature"}],"bt":1}"#,
+        br#"{"data":{"batch":[[{"readings":[{"v":"20.0","n":"temperature"}]}]]}}"#,
+        br#"{"e":[{"n":"temperature","v":"99"},{"n":"other","v":"20.0"}],"bt":5}"#,
+        br#"{"x":1,"y":7}"#,
+        br#"{"a":1,"x_late":7}"#,
+        b"[15,99]",
+        b"[1.5e1]",
+        br#"{"k":"\\","j":"\\\""}"#,
+    ];
+    for expr in expression_zoo() {
+        for record in &records {
+            assert_bytewise(&expr, record);
+        }
+    }
+}
+
+#[test]
+fn engine_equals_model_on_stream_framing() {
+    // filter_stream must agree on CRLF framing, blank lines, and a
+    // trailing record without separator.
+    let streams: Vec<&[u8]> = vec![
+        b"{\"a\":3}\r\n\r\n{\"a\":9}\n\n{\"a\":2}",
+        b"\n\n\n",
+        b"{\"a\":3}",
+        b"{\"a\":3}\n",
+        b"\r\n{\"a\":3}\r\n",
+    ];
+    for expr in expression_zoo() {
+        let mut engine = Engine::compile(&expr);
+        let mut model = CompiledFilter::compile(&expr);
+        for stream in &streams {
+            assert_eq!(
+                engine.filter_stream(stream),
+                model.filter_stream(stream),
+                "expr `{expr}` stream {:?}",
+                String::from_utf8_lossy(stream)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random records from all three generators, random zoo expression:
+    /// per-byte equality must hold for every combination.
+    #[test]
+    fn engine_equals_model_on_random_records(
+        seed in 0u64..1_000_000,
+        n in 1usize..8,
+        which in 0usize..3,
+        expr_idx in 0usize..15,
+    ) {
+        let ds = match which {
+            0 => smartcity::generate(seed, n),
+            1 => taxi::generate(seed, n),
+            _ => twitter::generate(seed, n),
+        };
+        let zoo = expression_zoo();
+        let expr = &zoo[expr_idx % zoo.len()];
+        for record in ds.records() {
+            assert_bytewise(expr, record);
+        }
+    }
+
+    /// Random structural soup: brackets, quotes, escapes, digits, commas —
+    /// the raw material of every latch/clear corner case.
+    #[test]
+    fn engine_equals_model_on_structural_soup(
+        soup in proptest::collection::vec(
+            prop_oneof![
+                Just(b'{'), Just(b'}'), Just(b'['), Just(b']'),
+                Just(b'"'), Just(b'\\'), Just(b','), Just(b':'),
+                Just(b'1'), Just(b'9'), Just(b'.'), Just(b'e'),
+                Just(b'n'), Just(b't'), Just(b'x'), Just(b' '),
+            ],
+            0..120,
+        ),
+    ) {
+        let exprs = [
+            Expr::context([
+                Expr::substring(b"n", 1).unwrap(),
+                Expr::int_range(0, 99),
+            ]),
+            Expr::context_scoped(
+                StructScope::Member,
+                [Expr::substring(b"t", 1).unwrap(), Expr::int_range(1, 19)],
+            ),
+            Expr::and([
+                Expr::context([
+                    Expr::substring(b"nt", 1).unwrap(),
+                    Expr::float_range("0.9", "99.1").unwrap(),
+                ]),
+                Expr::int_range(1, 9),
+            ]),
+        ];
+        for expr in &exprs {
+            assert_bytewise(expr, &soup);
+        }
+    }
+}
