@@ -14,6 +14,7 @@ use rfjson_core::engine::Engine;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::Expr;
 use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
 use rfjson_riotbench::{smartcity_corpus, Query};
 use std::hint::black_box;
 

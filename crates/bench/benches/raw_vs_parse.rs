@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rfjson_core::engine::Engine;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
 use rfjson_jsonstream::parse;
 use rfjson_riotbench::{smartcity_corpus, Query};
 use std::hint::black_box;

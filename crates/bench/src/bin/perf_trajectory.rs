@@ -1,6 +1,7 @@
 //! Performance trajectory: software filtering throughput (MB/s) of the
-//! cosim-faithful byte-serial model vs the flat batch engine, on the
-//! paper's query workloads, written as machine-readable JSON.
+//! cosim-faithful byte-serial model, the flat batch engine, and the
+//! sharded parallel runtime, on the paper's query workloads, written as
+//! machine-readable JSON.
 //!
 //! Each PR that touches a hot path reruns this and checks in a
 //! `BENCH_PR<N>.json` at the repo root; the sequence of files is the
@@ -8,27 +9,37 @@
 //!
 //! ```text
 //! cargo run -p rfjson-bench --bin perf_trajectory --release -- \
-//!     [--quick] [--pr N] [--out BENCH_PRN.json]
+//!     [--quick] [--pr N] [--shards N] [--out BENCH_PRN.json]
 //! ```
 //!
 //! `--quick` shrinks the corpora and iteration count for CI smoke use;
 //! `--pr N` stamps the measurement (and the default output filename) for
-//! PR N. The binary always cross-checks that engine and model produce
-//! identical per-record decisions and exits non-zero on any divergence.
+//! PR N; `--shards N` pins the parallel runner's lane count (default:
+//! available parallelism). The binary always cross-checks that engine,
+//! model, and sharded runner produce identical per-record decisions and
+//! exits non-zero on any divergence.
+//!
+//! Besides the PR 2 workloads (QS0/QS1/QT/QTW at standard corpus size),
+//! a multi-MB inflated workload (`QT-XL`, the paper's §IV-B "inflated
+//! JSON data" construction) exercises the sharded path at the stream
+//! sizes where fan-out matters.
 
 use rfjson_core::engine::Engine;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
 use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
 use rfjson_riotbench::{smartcity_corpus, taxi_corpus, twitter_corpus, Dataset, Query};
+use rfjson_runtime::ShardedRunner;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Schema identifier for `BENCH_*.json` consumers.
-const SCHEMA: &str = "rfjson-perf-trajectory/v1";
+/// Schema identifier for `BENCH_*.json` consumers (v2 adds the sharded
+/// parallel runtime fields).
+const SCHEMA: &str = "rfjson-perf-trajectory/v2";
 /// Default `--pr` value: the PR that last reran the trajectory.
-const DEFAULT_PR: u32 = 2;
+const DEFAULT_PR: u32 = 3;
 
 struct WorkloadResult {
     name: String,
@@ -39,15 +50,25 @@ struct WorkloadResult {
     accepted: usize,
     model_mbps: f64,
     engine_mbps: f64,
+    parallel_mbps: f64,
+    shards: usize,
 }
 
 impl WorkloadResult {
-    fn speedup(&self) -> f64 {
-        if self.model_mbps > 0.0 {
-            self.engine_mbps / self.model_mbps
-        } else {
-            0.0
-        }
+    fn engine_speedup(&self) -> f64 {
+        ratio(self.engine_mbps, self.model_mbps)
+    }
+
+    fn parallel_speedup(&self) -> f64 {
+        ratio(self.parallel_mbps, self.engine_mbps)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
     }
 }
 
@@ -62,15 +83,27 @@ fn best_mbps(bytes: usize, iters: usize, mut run: impl FnMut()) -> f64 {
     bytes as f64 / best / 1e6
 }
 
-fn measure(name: &str, expr: &Expr, dataset: &Dataset, iters: usize) -> WorkloadResult {
+fn measure(
+    name: &str,
+    expr: &Expr,
+    dataset: &Dataset,
+    iters: usize,
+    shards: usize,
+) -> WorkloadResult {
     let stream = dataset.stream();
     let mut model = CompiledFilter::compile(expr);
     let mut engine = Engine::compile(expr);
+    let mut runner: ShardedRunner<Engine> = ShardedRunner::with_shards(expr, shards);
 
     let model_decisions = model.filter_stream(&stream);
     let engine_decisions = engine.filter_stream(&stream);
+    let parallel_decisions = runner.filter_stream(&stream);
     if model_decisions != engine_decisions {
         eprintln!("FATAL: engine and model decisions diverge on {name}");
+        std::process::exit(1);
+    }
+    if parallel_decisions != engine_decisions {
+        eprintln!("FATAL: sharded runner and engine decisions diverge on {name}");
         std::process::exit(1);
     }
 
@@ -83,6 +116,11 @@ fn measure(name: &str, expr: &Expr, dataset: &Dataset, iters: usize) -> Workload
         engine.filter_stream_into(black_box(&stream), &mut out);
         black_box(out.len());
     });
+    let parallel_mbps = best_mbps(stream.len(), iters, || {
+        out.clear();
+        runner.filter_stream_into(black_box(&stream), &mut out);
+        black_box(out.len());
+    });
 
     WorkloadResult {
         name: name.to_string(),
@@ -93,6 +131,8 @@ fn measure(name: &str, expr: &Expr, dataset: &Dataset, iters: usize) -> Workload
         accepted: engine_decisions.iter().filter(|m| **m).count(),
         model_mbps,
         engine_mbps,
+        parallel_mbps,
+        shards,
     }
 }
 
@@ -108,12 +148,13 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn to_json(pr: u32, quick: bool, results: &[WorkloadResult]) -> String {
+fn to_json(pr: u32, quick: bool, threads: usize, results: &[WorkloadResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(s, "  \"pr\": {pr},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"threads_available\": {threads},");
     s.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str("    {\n");
@@ -125,7 +166,14 @@ fn to_json(pr: u32, quick: bool, results: &[WorkloadResult]) -> String {
         let _ = writeln!(s, "      \"accepted\": {},", r.accepted);
         let _ = writeln!(s, "      \"model_mbps\": {:.3},", r.model_mbps);
         let _ = writeln!(s, "      \"engine_mbps\": {:.3},", r.engine_mbps);
-        let _ = writeln!(s, "      \"speedup\": {:.3},", r.speedup());
+        let _ = writeln!(s, "      \"speedup\": {:.3},", r.engine_speedup());
+        let _ = writeln!(s, "      \"parallel_mbps\": {:.3},", r.parallel_mbps);
+        let _ = writeln!(s, "      \"parallel_shards\": {},", r.shards);
+        let _ = writeln!(
+            s,
+            "      \"parallel_speedup\": {:.3},",
+            r.parallel_speedup()
+        );
         s.push_str("      \"decisions_agree\": true\n");
         s.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -137,31 +185,43 @@ fn to_json(pr: u32, quick: bool, results: &[WorkloadResult]) -> String {
     s
 }
 
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    arg_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("FATAL: {flag} expects a number, got {v:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let pr: u32 = args
-        .iter()
-        .position(|a| a == "--pr")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("FATAL: --pr expects a number, got {v:?}");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(DEFAULT_PR);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
+    let pr: u32 = parse_flag(&args, "--pr").unwrap_or(DEFAULT_PR);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let shards: usize = parse_flag(&args, "--shards").unwrap_or(threads).max(1);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 
-    let (records, iters) = if quick { (300, 2) } else { (1500, 7) };
+    let (records, iters, xl_bytes, xl_iters) = if quick {
+        (300, 2, 512 * 1024, 2)
+    } else {
+        (1500, 7, 6 * 1024 * 1024, 3)
+    };
     let smartcity = smartcity_corpus(records);
     let taxi = taxi_corpus(records);
     let twitter = twitter_corpus(records);
+    // The §IV-B "inflated JSON data" construction: the multi-MB stream
+    // where sharding matters.
+    let taxi_xl = taxi.inflated_to(xl_bytes);
 
     // The paper's Table VIII queries in their most accurate structural
     // form, plus a string-heavy Twitter workload (no Table VIII query
@@ -174,49 +234,58 @@ fn main() {
             Expr::int_range(100, 50_000),
         ],
     );
-    let workloads: Vec<(&str, Expr, &Dataset)> = vec![
+    let qt = query_to_exprs(&Query::qt(), 2).expect("query converts");
+    let workloads: Vec<(&str, Expr, &Dataset, usize)> = vec![
         (
             "QS0",
             query_to_exprs(&Query::qs0(), 1).expect("query converts"),
             &smartcity,
+            iters,
         ),
         (
             "QS1",
             query_to_exprs(&Query::qs1(), 1).expect("query converts"),
             &smartcity,
+            iters,
         ),
-        (
-            "QT",
-            query_to_exprs(&Query::qt(), 2).expect("query converts"),
-            &taxi,
-        ),
-        ("QTW", qtw, &twitter),
+        ("QT", qt.clone(), &taxi, iters),
+        ("QTW", qtw, &twitter, iters),
+        ("QT-XL", qt, &taxi_xl, xl_iters),
     ];
 
     println!(
-        "perf trajectory (PR {pr}){} — byte-serial model vs batch engine\n",
+        "perf trajectory (PR {pr}){} — model vs engine vs sharded runner ({shards} shards, {threads} threads available)\n",
         if quick { " [quick]" } else { "" }
     );
     println!(
-        "{:<6} {:<10} {:>8} {:>12} {:>13} {:>9}",
-        "query", "dataset", "records", "model MB/s", "engine MB/s", "speedup"
+        "{:<6} {:<10} {:>8} {:>12} {:>13} {:>9} {:>15} {:>10}",
+        "query",
+        "dataset",
+        "records",
+        "model MB/s",
+        "engine MB/s",
+        "speedup",
+        "parallel MB/s",
+        "par/eng"
     );
     let mut results = Vec::new();
-    for (name, expr, dataset) in &workloads {
-        let r = measure(name, expr, dataset, iters);
+    for (name, expr, dataset, w_iters) in &workloads {
+        let r = measure(name, expr, dataset, *w_iters, shards);
         println!(
-            "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>8.2}x",
+            "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>8.2}x {:>15.1} {:>9.2}x",
             r.name,
             r.dataset,
             r.records,
             r.model_mbps,
             r.engine_mbps,
-            r.speedup()
+            r.engine_speedup(),
+            r.parallel_mbps,
+            r.parallel_speedup()
         );
         results.push(r);
     }
 
-    let json = to_json(pr, quick, &results);
+    let json = to_json(pr, quick, threads, &results);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("FATAL: cannot write {out_path}: {e}");
         std::process::exit(1);

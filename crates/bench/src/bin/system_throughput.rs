@@ -8,6 +8,7 @@
 use rfjson_core::arch::RawFilterSystem;
 use rfjson_core::engine::Engine;
 use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
 use rfjson_riotbench::{smartcity_corpus, Query};
 use std::time::Instant;
 

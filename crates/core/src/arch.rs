@@ -7,6 +7,7 @@
 //! 10 GBit/s NIC at line rate) corresponds to ~95 % DMA efficiency, which
 //! the model captures as a per-burst descriptor overhead.
 
+use crate::backend::FilterBackend;
 use crate::evaluator::CompiledFilter;
 use crate::expr::Expr;
 use rfjson_jsonstream::frame::split_records;

@@ -1,0 +1,187 @@
+//! The execution seam: every way of running a raw filter implements
+//! [`FilterBackend`].
+//!
+//! The paper's system is a many-lane filter: identical hardware filter
+//! instances consume the raw byte stream and DMA back one match bit per
+//! record. This crate has three software incarnations of that lane —
+//! the cosim-faithful [`CompiledFilter`](crate::evaluator::CompiledFilter)
+//! model, the table-driven [`Engine`](crate::engine::Engine), and the
+//! gate-level [`CosimBackend`](crate::cosim::CosimBackend) — and the
+//! sharded parallel runtime (`rfjson-runtime`) replicates any of them
+//! across threads. They are interchangeable because they all speak this
+//! one interface: compile from an [`Expr`], one latched accept signal
+//! per byte, a record-boundary reset, and batch stream filtering whose
+//! NDJSON framing rules come from **one** place
+//! ([`rfjson_jsonstream::frame`], re-exported here).
+//!
+//! # Choosing a backend
+//!
+//! ```
+//! use rfjson_core::backend::FilterBackend;
+//! use rfjson_core::cosim::CosimBackend;
+//! use rfjson_core::{CompiledFilter, Engine, Expr};
+//!
+//! let expr = Expr::and([Expr::substring(b"humidity", 1)?, Expr::int_range(10, 90)]);
+//! let stream = b"{\"n\":\"humidity\",\"v\":\"55\"}\n{\"n\":\"humidity\",\"v\":\"95\"}\n";
+//!
+//! // Any backend, same decisions:
+//! let mut backends: Vec<Box<dyn FilterBackend>> = vec![
+//!     Box::new(CompiledFilter::compile(&expr)),
+//!     Box::new(Engine::compile(&expr)),
+//!     Box::new(CosimBackend::compile(&expr)),
+//! ];
+//! for b in &mut backends {
+//!     assert_eq!(b.filter_stream(stream), vec![true, false], "{}", b.name());
+//! }
+//! # Ok::<(), rfjson_core::expr::ExprError>(())
+//! ```
+
+use crate::expr::Expr;
+pub use rfjson_jsonstream::frame::{ChunkFramer, FrameAction};
+
+/// A byte-serial raw-filter execution path.
+///
+/// Semantics (identical across implementations, held equal by the
+/// differential and co-simulation test suites):
+///
+/// * [`on_byte`](FilterBackend::on_byte) consumes one byte and returns
+///   the **latched** record-accept signal — once a record satisfies the
+///   filter, the signal stays high until the next record boundary;
+/// * [`reset`](FilterBackend::reset) returns the filter to its
+///   record-boundary state (hardware: the synchronous `\n` reset);
+/// * the provided batch methods frame newline-delimited streams with
+///   the shared [`ChunkFramer`] rules, so every backend emits exactly
+///   one decision per (non-blank) record — the match-signal DMA
+///   write-back of the paper's system.
+///
+/// The trait is object-safe: heterogeneous backends can sit behind
+/// `Box<dyn FilterBackend>` (only [`compile`](FilterBackend::compile)
+/// is `Self: Sized`).
+pub trait FilterBackend {
+    /// Compiles an expression into this execution form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression fails [`Expr::validate`] — construct
+    /// expressions through the smart constructors to avoid this.
+    fn compile(expr: &Expr) -> Self
+    where
+        Self: Sized;
+
+    /// Short stable identifier for reports and benchmarks
+    /// (`"model"`, `"engine"`, `"cosim"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The source expression.
+    fn expr(&self) -> &Expr;
+
+    /// Advances one cycle; returns the current (latched) record-accept
+    /// signal.
+    fn on_byte(&mut self, byte: u8) -> bool;
+
+    /// Record-boundary reset.
+    fn reset(&mut self);
+
+    /// Scans one record (appending the `\n` separator the hardware
+    /// sees) and returns the accept decision. Resets on entry, so
+    /// repeated calls are independent.
+    fn accepts_record(&mut self, record: &[u8]) -> bool {
+        self.reset();
+        let mut accept = false;
+        for &b in record {
+            accept = self.on_byte(b);
+        }
+        self.on_byte(b'\n') || accept
+    }
+
+    /// Filters a newline-delimited stream, appending one accept
+    /// decision per record to `out` (allocation-reusing form of
+    /// [`filter_stream`](FilterBackend::filter_stream)).
+    ///
+    /// Framing — CR handling, blank lines, the trailing record without
+    /// a separator — follows the workspace-wide rules of
+    /// [`rfjson_jsonstream::frame`], identically for every backend.
+    fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
+        self.reset();
+        let mut framer = ChunkFramer::new();
+        let mut accept = false;
+        for &b in stream {
+            accept = self.on_byte(b);
+            match framer.on_byte(b) {
+                FrameAction::Feed => {}
+                FrameAction::EndRecord => {
+                    out.push(accept);
+                    self.reset();
+                }
+                FrameAction::EndBlank => self.reset(),
+            }
+        }
+        if framer.finish() {
+            // Close the trailing record with the `\n` the hardware
+            // would see.
+            accept = self.on_byte(b'\n') || accept;
+            out.push(accept);
+            self.reset();
+        }
+    }
+
+    /// Filters a newline-delimited stream, returning the per-record
+    /// accept decisions.
+    fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.filter_stream_into(stream, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::CosimBackend;
+    use crate::engine::Engine;
+    use crate::evaluator::CompiledFilter;
+
+    fn all_backends(expr: &Expr) -> Vec<Box<dyn FilterBackend>> {
+        vec![
+            Box::new(CompiledFilter::compile(expr)),
+            Box::new(Engine::compile(expr)),
+            Box::new(CosimBackend::compile(expr)),
+        ]
+    }
+
+    #[test]
+    fn backends_agree_behind_trait_objects() {
+        let expr = Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]);
+        let stream: &[u8] = b"{\"e\":[{\"v\":\"21.0\",\"n\":\"temperature\"}]}\r\n\r\n{\"e\":[{\"v\":\"99.0\",\"n\":\"temperature\"}]}\n{\"e\":[{\"v\":\"1.0\",\"n\":\"temperature\"}]}";
+        let mut expected: Option<Vec<bool>> = None;
+        for b in &mut all_backends(&expr) {
+            let got = b.filter_stream(stream);
+            assert_eq!(got.len(), 3, "{}", b.name());
+            match &expected {
+                None => expected = Some(got),
+                Some(e) => assert_eq!(&got, e, "{} diverges", b.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let expr = Expr::int_range(1, 5);
+        let names: Vec<&str> = all_backends(&expr).iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["model", "engine", "cosim"]);
+        for b in &mut all_backends(&expr) {
+            assert_eq!(b.expr().to_string(), expr.to_string());
+        }
+    }
+
+    #[test]
+    fn provided_accepts_record_is_reentrant() {
+        let mut e: Box<dyn FilterBackend> = Box::new(Engine::compile(&Expr::int_range(1, 5)));
+        assert!(e.accepts_record(br#"{"a":3}"#));
+        assert!(!e.accepts_record(br#"{"a":9}"#));
+        assert!(e.accepts_record(br#"{"a":3}"#), "reset on entry");
+    }
+}

@@ -13,6 +13,7 @@
 //! to bitwise ANDs, which is what makes the 10⁵-point spaces of Fig. 3
 //! tractable in software.
 
+use crate::backend::FilterBackend;
 use crate::cost::{additive_cost, option_cost, structure_cost};
 use crate::eval::Measurement;
 use crate::expr::{Expr, StringTechnique};

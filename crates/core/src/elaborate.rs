@@ -430,6 +430,7 @@ fn build_number_fire(n: &mut Netlist, bounds: &NumberBounds, sig: &StreamSignals
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::FilterBackend;
     use crate::evaluator::CompiledFilter;
     use rfjson_rtl::{BitVec, Simulator};
 

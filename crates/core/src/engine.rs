@@ -87,7 +87,7 @@ struct WideSub {
 /// # Example
 ///
 /// ```
-/// use rfjson_core::{Engine, Expr};
+/// use rfjson_core::{Engine, Expr, FilterBackend};
 ///
 /// let expr = Expr::context([
 ///     Expr::substring(b"temperature", 1)?,
@@ -624,38 +624,22 @@ impl Engine {
         }
         self.tracker.reset();
     }
-
-    /// Scans one record (appending the `\n` separator the hardware sees)
-    /// and returns the accept decision. Resets on entry, like
-    /// [`CompiledFilter::accepts_record`](crate::evaluator::CompiledFilter::accepts_record).
-    pub fn accepts_record(&mut self, record: &[u8]) -> bool {
-        self.reset();
-        let mut accept = false;
-        for &b in record {
-            accept = self.on_byte(b);
-        }
-        self.on_byte(b'\n') || accept
-    }
-
-    /// Filters a newline-delimited stream, returning the per-record accept
-    /// decisions. Framing (CR handling, blank lines, trailing partial
-    /// record) matches
-    /// [`CompiledFilter::filter_stream`](crate::evaluator::CompiledFilter::filter_stream)
-    /// exactly.
-    pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
-        let mut out = Vec::new();
-        self.filter_stream_into(stream, &mut out);
-        out
-    }
-
-    /// Allocation-reusing form of [`Engine::filter_stream`]: appends one
-    /// decision per record to `out`.
-    pub fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
-        crate::framing::filter_stream_into(self, stream, out);
-    }
 }
 
-impl crate::framing::ByteSerial for Engine {
+impl crate::backend::FilterBackend for Engine {
+    fn compile(expr: &Expr) -> Self {
+        Engine::compile(expr)
+    }
+
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    #[inline]
     fn on_byte(&mut self, byte: u8) -> bool {
         Engine::on_byte(self, byte)
     }
@@ -668,6 +652,7 @@ impl crate::framing::ByteSerial for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::FilterBackend;
     use crate::evaluator::CompiledFilter;
 
     const LISTING1: &[u8] = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"},{"v":"713","u":"per","n":"light"},{"v":"305.01","u":"per","n":"dust"},{"v":"20","u":"per","n":"airquality_raw"}],"bt":1422748800000}"#;

@@ -12,6 +12,7 @@
 //!   fire at a position where the needle does not actually end? (Tables
 //!   I–III; exact matchers score 0 by construction.)
 
+use crate::backend::FilterBackend;
 use crate::evaluator::CompiledFilter;
 use crate::expr::Expr;
 use crate::primitive::{exact_end_positions, FireFilter};

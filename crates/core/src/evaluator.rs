@@ -299,12 +299,15 @@ impl EvalNode {
     }
 }
 
-/// An executable raw filter compiled from an [`Expr`].
+/// An executable raw filter compiled from an [`Expr`] — the
+/// cosim-faithful [`FilterBackend`](crate::backend::FilterBackend)
+/// (`name() == "model"`). Batch record/stream filtering comes from the
+/// backend trait's provided methods.
 ///
 /// # Example
 ///
 /// ```
-/// use rfjson_core::{CompiledFilter, Expr};
+/// use rfjson_core::{CompiledFilter, Expr, FilterBackend};
 ///
 /// let expr = Expr::and([
 ///     Expr::substring(b"humidity", 1)?,
@@ -356,31 +359,22 @@ impl CompiledFilter {
         self.root.reset();
         self.tracker.reset();
     }
-
-    /// Scans one record (appending the `\n` separator the hardware sees)
-    /// and returns the accept decision. Resets on entry, so repeated calls
-    /// are independent; the filter is left in the post-record state.
-    pub fn accepts_record(&mut self, record: &[u8]) -> bool {
-        self.reset();
-        let mut accept = false;
-        for &b in record {
-            accept = self.on_byte(b);
-        }
-        self.on_byte(b'\n') || accept
-    }
-
-    /// Filters a newline-delimited stream, returning the per-record accept
-    /// decisions (the match-signal DMA write-back of the paper's system).
-    /// Framing rules are shared with [`Engine`](crate::engine::Engine) via
-    /// `crate::framing`.
-    pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
-        let mut out = Vec::new();
-        crate::framing::filter_stream_into(self, stream, &mut out);
-        out
-    }
 }
 
-impl crate::framing::ByteSerial for CompiledFilter {
+impl crate::backend::FilterBackend for CompiledFilter {
+    fn compile(expr: &Expr) -> Self {
+        CompiledFilter::compile(expr)
+    }
+
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    #[inline]
     fn on_byte(&mut self, byte: u8) -> bool {
         CompiledFilter::on_byte(self, byte)
     }
@@ -393,6 +387,7 @@ impl crate::framing::ByteSerial for CompiledFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::FilterBackend;
 
     const LISTING1: &[u8] = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"},{"v":"713","u":"per","n":"light"},{"v":"305.01","u":"per","n":"dust"},{"v":"20","u":"per","n":"airquality_raw"}],"bt":1422748800000}"#;
 

@@ -18,11 +18,16 @@
 //! * [`expr`] — composition (§III-C/D): conjunction, disjunction, and the
 //!   structure-aware context `{RF1 & RF2}` that only combines results found
 //!   in the same structural context.
+//! * [`backend`] — the execution seam: the [`FilterBackend`] trait every
+//!   execution path implements (compile from an expression, one byte per
+//!   cycle, shared NDJSON stream framing).
 //! * [`evaluator`] — the byte-serial software model, cycle-equivalent to
 //!   the hardware.
 //! * [`engine`] — the flattened table-driven batch execution engine:
 //!   same semantics as [`evaluator`] (held equal by differential tests),
 //!   several times faster; the path to use for bulk software filtering.
+//! * [`cosim`] — the elaborated netlist running in the cycle-accurate
+//!   RTL simulator, behind the same backend interface.
 //! * [`elaborate`] — elaboration of any composed filter into an
 //!   `rfjson-rtl` netlist (what would be synthesised), with
 //!   `rfjson-techmap` providing the LUT costs the paper reports.
@@ -39,6 +44,7 @@
 //! ```
 //! use rfjson_core::expr::Expr;
 //! use rfjson_core::evaluator::CompiledFilter;
+//! use rfjson_core::FilterBackend;
 //!
 //! // { s1("temperature") & v(0.7 <= f <= 35.1) }
 //! let expr = Expr::context([
@@ -62,6 +68,8 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod backend;
+pub mod cosim;
 pub mod cost;
 pub mod design;
 pub mod elaborate;
@@ -69,10 +77,11 @@ pub mod engine;
 pub mod eval;
 pub mod evaluator;
 pub mod expr;
-mod framing;
 pub mod primitive;
 pub mod query;
 
+pub use backend::FilterBackend;
+pub use cosim::CosimBackend;
 pub use engine::Engine;
 pub use evaluator::CompiledFilter;
 pub use expr::{Expr, StructScope};
@@ -80,6 +89,8 @@ pub use expr::{Expr, StructScope};
 /// Convenience prelude for downstream users.
 pub mod prelude {
     pub use crate::arch::RawFilterSystem;
+    pub use crate::backend::FilterBackend;
+    pub use crate::cosim::CosimBackend;
     pub use crate::design::{explore, DesignPoint, ExploreOptions};
     pub use crate::elaborate::elaborate_filter;
     pub use crate::engine::Engine;

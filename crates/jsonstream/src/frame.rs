@@ -1,11 +1,50 @@
-//! Record framing for newline-delimited JSON streams.
+//! Record framing for newline-delimited JSON streams — the **single
+//! source of truth** for the framing rules every execution path shares.
 //!
 //! RiotBench (and most IoT ingestion paths) stream one JSON record per
 //! line. The raw-filter hardware needs the same framing to know when to
-//! reset per-record state, so framing lives here in the substrate.
+//! reset per-record state, the software backends need it to emit one
+//! decision per record, and the sharded runtime needs it to split a
+//! buffer at record boundaries. If any of those disagreed on CR
+//! handling, blank lines, or the trailing record, their decision vectors
+//! would diverge — so the rules live exactly once, here:
+//!
+//! * `\n` separates records;
+//! * one CR immediately before the LF is framing, not content
+//!   ([`trim_cr`]);
+//! * a line whose bytes are all `\r` (in particular an empty line) is
+//!   **blank** and produces no record and no decision
+//!   ([`is_blank_line`]);
+//! * a trailing record without a final `\n` still counts.
+//!
+//! Three views of the same rules are provided: slice-level
+//! ([`split_records`]), chunk-streaming ([`FrameAssembler`]), and
+//! byte-serial ([`ChunkFramer`] — what the filter-backend stream drivers
+//! in `rfjson-core` consume). [`shard_ranges`] partitions a buffer at
+//! record boundaries for the parallel runtime. Their equivalence is held
+//! by the cross-impl tests in the root crate (`tests/framing_equiv.rs`).
+
+use core::ops::Range;
+
+/// Strips the single framing CR before an LF (CRLF line endings).
+/// Interior CRs — and any further trailing CRs — are record content.
+#[inline]
+pub fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+/// A line that produces no record: empty, or nothing but CR bytes
+/// (framing debris such as a stray `\r\r\n`, never record content).
+#[inline]
+pub fn is_blank_line(line: &[u8]) -> bool {
+    line.iter().all(|&b| b == b'\r')
+}
 
 /// Iterator over the records of a newline-delimited JSON byte stream.
-/// Empty lines are skipped; the trailing record does not need a newline.
+/// Blank lines are skipped; the trailing record does not need a newline.
 ///
 /// # Example
 ///
@@ -20,14 +59,94 @@
 pub fn split_records(stream: &[u8]) -> impl Iterator<Item = &[u8]> {
     stream
         .split(|&b| b == b'\n')
+        .filter(|line| !is_blank_line(line))
         .map(trim_cr)
-        .filter(|r| !r.is_empty())
 }
 
-fn trim_cr(line: &[u8]) -> &[u8] {
-    match line.last() {
-        Some(b'\r') => &line[..line.len() - 1],
-        _ => line,
+/// What one byte means for record framing (returned by
+/// [`ChunkFramer::on_byte`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameAction {
+    /// The byte belongs to the current (possibly still blank) line.
+    Feed,
+    /// The byte is a separator ending a non-blank record: emit the
+    /// record/decision, then reset per-record state.
+    EndRecord,
+    /// The byte is a separator after a blank line: reset, emit nothing.
+    EndBlank,
+}
+
+/// Byte-serial framing state machine — the canonical encoding of the
+/// framing rules, driven one byte at a time alongside a filter.
+///
+/// The filter-backend stream drivers feed every byte to both the filter
+/// and the framer; the framer says when a decision is due. At
+/// end-of-stream, [`ChunkFramer::finish`] reports whether an unclosed
+/// trailing record remains (the driver then supplies the `\n` the
+/// hardware would see).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::frame::{ChunkFramer, FrameAction};
+///
+/// let mut framer = ChunkFramer::new();
+/// let actions: Vec<FrameAction> =
+///     b"a\n\nb".iter().map(|&b| framer.on_byte(b)).collect();
+/// assert_eq!(
+///     actions,
+///     vec![
+///         FrameAction::Feed,
+///         FrameAction::EndRecord,
+///         FrameAction::EndBlank,
+///         FrameAction::Feed,
+///     ]
+/// );
+/// assert!(framer.finish(), "trailing `b` is an unclosed record");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkFramer {
+    saw_content: bool,
+}
+
+impl ChunkFramer {
+    /// Fresh framer at a record boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one byte and classifies it.
+    #[inline]
+    pub fn on_byte(&mut self, byte: u8) -> FrameAction {
+        if byte == b'\n' {
+            if core::mem::take(&mut self.saw_content) {
+                FrameAction::EndRecord
+            } else {
+                FrameAction::EndBlank
+            }
+        } else {
+            if byte != b'\r' {
+                self.saw_content = true;
+            }
+            FrameAction::Feed
+        }
+    }
+
+    /// End of stream: returns `true` (and resets) if a non-blank record
+    /// is still open — a trailing record without a separator.
+    #[inline]
+    pub fn finish(&mut self) -> bool {
+        core::mem::take(&mut self.saw_content)
+    }
+
+    /// Whether a non-blank record is currently open.
+    pub fn has_open_record(&self) -> bool {
+        self.saw_content
+    }
+
+    /// Back to a record boundary.
+    pub fn reset(&mut self) {
+        self.saw_content = false;
     }
 }
 
@@ -36,6 +155,7 @@ fn trim_cr(line: &[u8]) -> &[u8] {
 /// receives DMA bursts rather than whole files.
 #[derive(Debug, Default, Clone)]
 pub struct FrameAssembler {
+    framer: ChunkFramer,
     pending: Vec<u8>,
 }
 
@@ -48,23 +168,21 @@ impl FrameAssembler {
     /// Consumes a chunk, invoking `sink` for every completed record.
     pub fn push_chunk(&mut self, chunk: &[u8], mut sink: impl FnMut(&[u8])) {
         for &b in chunk {
-            if b == b'\n' {
-                let record = trim_cr(&self.pending);
-                if !record.is_empty() {
-                    sink(record);
+            match self.framer.on_byte(b) {
+                FrameAction::Feed => self.pending.push(b),
+                FrameAction::EndRecord => {
+                    sink(trim_cr(&self.pending));
+                    self.pending.clear();
                 }
-                self.pending.clear();
-            } else {
-                self.pending.push(b);
+                FrameAction::EndBlank => self.pending.clear(),
             }
         }
     }
 
     /// Flushes the trailing record (stream end without newline).
     pub fn finish(&mut self, mut sink: impl FnMut(&[u8])) {
-        let record = trim_cr(&self.pending);
-        if !record.is_empty() {
-            sink(record);
+        if self.framer.finish() {
+            sink(trim_cr(&self.pending));
         }
         self.pending.clear();
     }
@@ -73,6 +191,67 @@ impl FrameAssembler {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+}
+
+/// Partitions `stream` into at most `shards` contiguous byte ranges that
+/// cover it exactly, cutting **only immediately after a `\n`** — so each
+/// range is a self-contained NDJSON sub-stream: every shard starts at a
+/// record boundary, and only the final shard can hold an unterminated
+/// trailing record.
+///
+/// Ranges are returned in stream order and are never empty; if the
+/// stream has fewer separators than `shards - 1`, fewer ranges come
+/// back (one, in the degenerate single-record case). An empty stream
+/// yields no ranges.
+///
+/// This is the seam the sharded parallel runtime
+/// (`rfjson-runtime`) splits work on: running any byte-serial filter
+/// over each range independently and concatenating the per-range
+/// decision vectors is byte-for-byte identical to the serial pass,
+/// because the serial filter is freshly reset right after every `\n`.
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::frame::shard_ranges;
+///
+/// let stream = b"{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n";
+/// let ranges = shard_ranges(stream, 2);
+/// assert_eq!(ranges.len(), 2);
+/// assert_eq!(ranges[0].start, 0);
+/// assert_eq!(ranges.last().unwrap().end, stream.len());
+/// // Every cut happens right after a newline.
+/// for r in &ranges[..ranges.len() - 1] {
+///     assert_eq!(stream[r.end - 1], b'\n');
+/// }
+/// ```
+pub fn shard_ranges(stream: &[u8], shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    if stream.is_empty() {
+        return Vec::new();
+    }
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for k in 1..shards {
+        let ideal = stream.len() * k / shards;
+        if ideal <= start {
+            continue;
+        }
+        // Cut right after the first separator at or beyond the ideal
+        // point (the separator byte stays in the left shard).
+        match stream[ideal..].iter().position(|&b| b == b'\n') {
+            Some(p) => {
+                let cut = ideal + p + 1;
+                if cut > start && cut < stream.len() {
+                    ranges.push(start..cut);
+                    start = cut;
+                }
+            }
+            None => break, // no more separators: the rest is one shard
+        }
+    }
+    ranges.push(start..stream.len());
+    ranges
 }
 
 #[cfg(test)]
@@ -95,6 +274,34 @@ mod tests {
     fn split_skips_empty_lines() {
         let recs: Vec<&[u8]> = split_records(b"\n\na\n\n\nb\n\n").collect();
         assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn cr_only_lines_are_blank() {
+        // An all-CR line is framing debris, not a record — the same rule
+        // the byte-serial stream drivers apply.
+        let recs: Vec<&[u8]> = split_records(b"\r\n\r\r\na\r\n").collect();
+        assert_eq!(recs, vec![&b"a"[..]]);
+        let mut asm = FrameAssembler::new();
+        let mut got = 0;
+        asm.push_chunk(b"\r\n\r\r\na\r\n", |_| got += 1);
+        asm.finish(|_| got += 1);
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn framer_actions_and_finish() {
+        let mut f = ChunkFramer::new();
+        assert_eq!(f.on_byte(b'\r'), FrameAction::Feed);
+        assert!(!f.has_open_record(), "CR alone opens no record");
+        assert_eq!(f.on_byte(b'\n'), FrameAction::EndBlank);
+        assert_eq!(f.on_byte(b'x'), FrameAction::Feed);
+        assert!(f.has_open_record());
+        assert_eq!(f.on_byte(b'\n'), FrameAction::EndRecord);
+        assert!(!f.finish(), "no trailing record after a separator");
+        f.on_byte(b'y');
+        assert!(f.finish(), "trailing record without separator");
+        assert!(!f.finish(), "finish resets");
     }
 
     #[test]
@@ -129,5 +336,63 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(asm.pending_len(), 0);
         asm.finish(|_| panic!("nothing pending"));
+    }
+
+    /// Every split decomposition must cover the stream exactly, cut only
+    /// after separators, and preserve the record sequence.
+    fn assert_valid_sharding(stream: &[u8], shards: usize) {
+        let ranges = shard_ranges(stream, shards);
+        assert!(ranges.len() <= shards.max(1));
+        if stream.is_empty() {
+            assert!(ranges.is_empty());
+            return;
+        }
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, stream.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile the stream");
+            assert_eq!(stream[w[0].end - 1], b'\n', "cuts only after newlines");
+        }
+        for r in &ranges {
+            assert!(r.start < r.end, "no empty shard ranges");
+        }
+        // Record sequence is preserved.
+        let serial: Vec<&[u8]> = split_records(stream).collect();
+        let sharded: Vec<&[u8]> = ranges
+            .iter()
+            .flat_map(|r| split_records(&stream[r.clone()]))
+            .collect();
+        assert_eq!(serial, sharded, "shards {shards}");
+    }
+
+    #[test]
+    fn shard_ranges_tile_and_preserve_records() {
+        let streams: Vec<&[u8]> = vec![
+            b"",
+            b"x",
+            b"{\"a\":1}\n",
+            b"{\"a\":1}\n{\"b\":2}\n{\"c\":3}",
+            b"{\"a\":1}\r\n\r\n{\"b\":2}\n\n{\"c\":3}\r\n",
+            b"\n\n\n",
+            b"a\nb\nc\nd\ne\nf\ng\nh\ni\nj\n",
+            b"one-very-long-record-with-no-separator-at-all-0123456789",
+        ];
+        for stream in &streams {
+            for shards in [1, 2, 3, 4, 8, 64] {
+                assert_valid_sharding(stream, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_balance_roughly() {
+        // 200 equal records, 4 shards: each shard within 2 records of fair.
+        let stream: Vec<u8> = b"{\"k\":12345}\n".repeat(200);
+        let ranges = shard_ranges(&stream, 4);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            let n = split_records(&stream[r.clone()]).count();
+            assert!((48..=52).contains(&n), "unbalanced shard: {n} records");
+        }
     }
 }

@@ -28,6 +28,7 @@ pub mod value;
 pub mod write;
 
 pub use classify::{classify, ByteClass, BYTE_CLASS};
+pub use frame::{shard_ranges, ChunkFramer, FrameAction, FrameAssembler};
 pub use mask::StringMask;
 pub use nesting::NestingTracker;
 pub use parser::{parse, ParseJsonError};

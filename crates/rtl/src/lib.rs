@@ -55,7 +55,7 @@ pub mod verilog;
 
 pub use bitvec::BitVec;
 pub use netlist::{Netlist, NodeId};
-pub use sim::Simulator;
+pub use sim::{find_byte_port, OwnedSimulator, Sim, Simulator};
 
 use std::error::Error;
 use std::fmt;

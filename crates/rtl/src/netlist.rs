@@ -13,8 +13,9 @@ use crate::RtlError;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Identifier of a node within a [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Identifier of a node within a [`Netlist`]. The default value is node
+/// 0 — a placeholder, only meaningful once resolved against a netlist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {

@@ -13,8 +13,11 @@
 
 use crate::netlist::{Netlist, Node, NodeId};
 use crate::{BitVec, Result, RtlError};
+use std::borrow::Borrow;
 
-/// Bit-true simulator over a levelized netlist.
+/// Bit-true simulator over a levelized netlist, generic over how the
+/// netlist is held ([`Simulator`] borrows it, [`OwnedSimulator`] owns
+/// it — one impl, identical behaviour by construction).
 ///
 /// # Example
 ///
@@ -41,28 +44,40 @@ use crate::{BitVec, Result, RtlError};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct Simulator<'n> {
-    netlist: &'n Netlist,
+pub struct Sim<N: Borrow<Netlist>> {
+    netlist: N,
+    core: SimCore,
+}
+
+/// Borrowing simulator: the common form for testbench-style use, where
+/// the netlist outlives the simulation.
+pub type Simulator<'n> = Sim<&'n Netlist>;
+
+/// Owning simulator: netlist and simulation state in one movable value,
+/// for long-lived drivers (such as the RTL co-simulation filter backend
+/// in `rfjson-core`) that cannot keep a borrow of the netlist alive
+/// alongside the simulator.
+pub type OwnedSimulator = Sim<Netlist>;
+
+/// The netlist-independent simulation state: node values, evaluation
+/// order, flip-flop sample list. Shared verbatim between the borrowing
+/// [`Simulator`] and the owning [`OwnedSimulator`] — the simulation
+/// semantics exist exactly once.
+#[derive(Debug, Clone)]
+struct SimCore {
     /// Current value of every node.
     values: Vec<bool>,
     /// Evaluation order of combinational nodes (gate ids only).
     topo: Vec<NodeId>,
     /// Flip-flop ids with their data inputs, for the clock edge.
     dffs: Vec<(NodeId, NodeId, bool)>,
+    /// Reusable D-input sample buffer (no per-cycle allocation on the
+    /// streaming hot path).
+    scratch: Vec<bool>,
 }
 
-impl<'n> Simulator<'n> {
-    /// Builds a simulator, levelizing the netlist.
-    ///
-    /// Combinational cycles cannot occur: gates only reference nodes that
-    /// already exist, so creation order is a valid topological order, and
-    /// sequential feedback must go through [`Netlist::dff_placeholder`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RtlError::UnconnectedDff`] if a placeholder flip-flop was
-    /// never connected.
-    pub fn new(netlist: &'n Netlist) -> Result<Self> {
+impl SimCore {
+    fn new(netlist: &Netlist) -> Result<Self> {
         netlist.check_connected()?;
         let topo = levelize(netlist);
         let mut values = vec![false; netlist.len()];
@@ -77,56 +92,34 @@ impl<'n> Simulator<'n> {
                 _ => {}
             }
         }
-        let mut sim = Simulator {
-            netlist,
+        let mut core = SimCore {
             values,
             topo,
             dffs,
+            scratch: Vec::new(),
         };
-        sim.settle();
-        Ok(sim)
+        core.settle(netlist);
+        Ok(core)
     }
 
-    /// The netlist being simulated.
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
-    }
-
-    /// Drives a single-bit primary input by name.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RtlError::UnknownInput`] for an unknown name.
-    pub fn set_input(&mut self, name: &str, value: bool) -> Result<()> {
-        let id = self
-            .netlist
+    fn set_input(&mut self, netlist: &Netlist, name: &str, value: bool) -> Result<()> {
+        let id = netlist
             .find_input(name)
             .ok_or_else(|| RtlError::UnknownInput { name: name.into() })?;
         self.values[id.index()] = value;
         Ok(())
     }
 
-    /// Drives the little-endian word input `name[i]` with `value`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RtlError::UnknownInput`] if any bit of the word is missing.
-    pub fn set_input_word(&mut self, name: &str, value: &BitVec) -> Result<()> {
+    fn set_input_word(&mut self, netlist: &Netlist, name: &str, value: &BitVec) -> Result<()> {
         for i in 0..value.width() {
-            self.set_input(&format!("{name}[{i}]"), value.get(i))?;
+            self.set_input(netlist, &format!("{name}[{i}]"), value.get(i))?;
         }
         Ok(())
     }
 
-    /// Drives input bits directly by node id (fast path for streaming).
-    pub fn set_input_id(&mut self, id: NodeId, value: bool) {
-        self.values[id.index()] = value;
-    }
-
-    /// Re-evaluates all combinational logic in topological order.
-    pub fn settle(&mut self) {
+    fn settle(&mut self, netlist: &Netlist) {
         for &id in &self.topo {
-            let v = match self.netlist.node(id) {
+            let v = match netlist.node(id) {
                 Node::Not(a) => !self.values[a.index()],
                 Node::And(a, b) => self.values[a.index()] && self.values[b.index()],
                 Node::Or(a, b) => self.values[a.index()] || self.values[b.index()],
@@ -144,31 +137,160 @@ impl<'n> Simulator<'n> {
         }
     }
 
+    fn clock(&mut self, netlist: &Netlist) {
+        // Phase 0: make sure D inputs reflect the latest primary inputs.
+        self.settle(netlist);
+        self.latch(netlist);
+    }
+
+    /// Clock edge for already-settled logic: flip-flops latch, then
+    /// logic re-settles against the new state.
+    fn latch(&mut self, netlist: &Netlist) {
+        // Phase 1: sample all D inputs simultaneously.
+        self.scratch.clear();
+        self.scratch
+            .extend(self.dffs.iter().map(|&(_, d, _)| self.values[d.index()]));
+        // Phase 2: update all Q outputs.
+        for (&(q, _, _), &v) in self.dffs.iter().zip(&self.scratch) {
+            self.values[q.index()] = v;
+        }
+        self.settle(netlist);
+    }
+
+    fn reset(&mut self, netlist: &Netlist) {
+        for &(q, _, init) in &self.dffs {
+            self.values[q.index()] = init;
+        }
+        self.settle(netlist);
+    }
+
+    fn output(&self, netlist: &Netlist, name: &str) -> Result<bool> {
+        let id = netlist
+            .find_output(name)
+            .ok_or_else(|| RtlError::UnknownOutput { name: name.into() })?;
+        Ok(self.values[id.index()])
+    }
+
+    fn output_word(&self, netlist: &Netlist, name: &str, width: usize) -> Result<BitVec> {
+        let mut v = BitVec::zeros(width);
+        for i in 0..width {
+            v.set(i, self.output(netlist, &format!("{name}[{i}]"))?);
+        }
+        Ok(v)
+    }
+
+    fn stream_bytes(
+        &mut self,
+        netlist: &Netlist,
+        port: &str,
+        bytes: &[u8],
+        watch: &str,
+    ) -> Result<Vec<bool>> {
+        let bits = find_byte_port(netlist, port)?;
+        let watch_id = netlist
+            .find_output(watch)
+            .ok_or_else(|| RtlError::UnknownOutput { name: watch.into() })?;
+        let mut out = Vec::with_capacity(bytes.len());
+        for &b in bytes {
+            for (i, &bit) in bits.iter().enumerate() {
+                self.values[bit.index()] = (b >> i) & 1 == 1;
+            }
+            self.settle(netlist);
+            out.push(self.values[watch_id.index()]);
+            self.latch(netlist);
+        }
+        Ok(out)
+    }
+}
+
+/// Resolves the eight bit inputs `port[0..8]` of a byte port.
+///
+/// # Errors
+///
+/// Returns [`RtlError::UnknownInput`] if any bit of the word is missing.
+pub fn find_byte_port(netlist: &Netlist, port: &str) -> Result<[NodeId; 8]> {
+    let mut bits = [NodeId::default(); 8];
+    for (i, bit) in bits.iter_mut().enumerate() {
+        *bit =
+            netlist
+                .find_input(&format!("{port}[{i}]"))
+                .ok_or_else(|| RtlError::UnknownInput {
+                    name: format!("{port}[{i}]"),
+                })?;
+    }
+    Ok(bits)
+}
+
+impl<N: Borrow<Netlist>> Sim<N> {
+    /// Builds a simulator, levelizing the netlist. Pass `&Netlist` for
+    /// the borrowing [`Simulator`], `Netlist` by value for the owning
+    /// [`OwnedSimulator`].
+    ///
+    /// Combinational cycles cannot occur: gates only reference nodes that
+    /// already exist, so creation order is a valid topological order, and
+    /// sequential feedback must go through [`Netlist::dff_placeholder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnconnectedDff`] if a placeholder flip-flop was
+    /// never connected.
+    pub fn new(netlist: N) -> Result<Self> {
+        let core = SimCore::new(netlist.borrow())?;
+        Ok(Sim { netlist, core })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist.borrow()
+    }
+
+    /// Drives a single-bit primary input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownInput`] for an unknown name.
+    pub fn set_input(&mut self, name: &str, value: bool) -> Result<()> {
+        self.core.set_input(self.netlist.borrow(), name, value)
+    }
+
+    /// Drives the little-endian word input `name[i]` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownInput`] if any bit of the word is missing.
+    pub fn set_input_word(&mut self, name: &str, value: &BitVec) -> Result<()> {
+        self.core.set_input_word(self.netlist.borrow(), name, value)
+    }
+
+    /// Drives input bits directly by node id (fast path for streaming).
+    pub fn set_input_id(&mut self, id: NodeId, value: bool) {
+        self.core.values[id.index()] = value;
+    }
+
+    /// Re-evaluates all combinational logic in topological order.
+    pub fn settle(&mut self) {
+        self.core.settle(self.netlist.borrow());
+    }
+
     /// Rising clock edge: combinational logic settles against the current
     /// inputs, every flip-flop latches its data input simultaneously, and
     /// logic re-settles against the new state.
     pub fn clock(&mut self) {
-        // Phase 0: make sure D inputs reflect the latest primary inputs.
-        self.settle();
-        // Phase 1: sample all D inputs simultaneously.
-        let sampled: Vec<bool> = self
-            .dffs
-            .iter()
-            .map(|&(_, d, _)| self.values[d.index()])
-            .collect();
-        // Phase 2: update all Q outputs.
-        for (&(q, _, _), &v) in self.dffs.iter().zip(&sampled) {
-            self.values[q.index()] = v;
-        }
-        self.settle();
+        self.core.clock(self.netlist.borrow());
+    }
+
+    /// Clock edge for an **already-settled** netlist: flip-flops latch
+    /// their data inputs and logic re-settles. Equivalent to
+    /// [`clock`](Sim::clock) when [`settle`](Sim::settle) has just run —
+    /// the streaming hot paths (sample output, then advance) use this to
+    /// skip the redundant pre-settle.
+    pub fn latch(&mut self) {
+        self.core.latch(self.netlist.borrow());
     }
 
     /// Synchronous reset: every flip-flop returns to its `init` value.
     pub fn reset(&mut self) {
-        for &(q, _, init) in &self.dffs {
-            self.values[q.index()] = init;
-        }
-        self.settle();
+        self.core.reset(self.netlist.borrow());
     }
 
     /// Reads a named output.
@@ -177,11 +299,7 @@ impl<'n> Simulator<'n> {
     ///
     /// Returns [`RtlError::UnknownOutput`] for an unknown name.
     pub fn output(&self, name: &str) -> Result<bool> {
-        let id = self
-            .netlist
-            .find_output(name)
-            .ok_or_else(|| RtlError::UnknownOutput { name: name.into() })?;
-        Ok(self.values[id.index()])
+        self.core.output(self.netlist.borrow(), name)
     }
 
     /// Reads an output word `name[i]`, width bits wide.
@@ -190,16 +308,12 @@ impl<'n> Simulator<'n> {
     ///
     /// Returns [`RtlError::UnknownOutput`] if any bit is missing.
     pub fn output_word(&self, name: &str, width: usize) -> Result<BitVec> {
-        let mut v = BitVec::zeros(width);
-        for i in 0..width {
-            v.set(i, self.output(&format!("{name}[{i}]"))?);
-        }
-        Ok(v)
+        self.core.output_word(self.netlist.borrow(), name, width)
     }
 
     /// Reads the current value of an arbitrary node.
     pub fn value(&self, id: NodeId) -> bool {
-        self.values[id.index()]
+        self.core.values[id.index()]
     }
 
     /// Streams `bytes` through an 8-bit input port (one byte per cycle) and
@@ -212,29 +326,8 @@ impl<'n> Simulator<'n> {
     /// Returns [`RtlError::UnknownInput`]/[`RtlError::UnknownOutput`] if the
     /// named ports do not exist.
     pub fn stream_bytes(&mut self, port: &str, bytes: &[u8], watch: &str) -> Result<Vec<bool>> {
-        let bits: Vec<NodeId> = (0..8)
-            .map(|i| {
-                self.netlist
-                    .find_input(&format!("{port}[{i}]"))
-                    .ok_or_else(|| RtlError::UnknownInput {
-                        name: format!("{port}[{i}]"),
-                    })
-            })
-            .collect::<Result<_>>()?;
-        let watch_id = self
-            .netlist
-            .find_output(watch)
-            .ok_or_else(|| RtlError::UnknownOutput { name: watch.into() })?;
-        let mut out = Vec::with_capacity(bytes.len());
-        for &b in bytes {
-            for (i, &bit) in bits.iter().enumerate() {
-                self.values[bit.index()] = (b >> i) & 1 == 1;
-            }
-            self.settle();
-            out.push(self.values[watch_id.index()]);
-            self.clock();
-        }
-        Ok(out)
+        self.core
+            .stream_bytes(self.netlist.borrow(), port, bytes, watch)
     }
 }
 

@@ -1,0 +1,339 @@
+//! # rfjson-runtime — sharded parallel streaming runtime
+//!
+//! The paper scales raw filtering by **replicating identical filter
+//! lanes**: each hardware lane consumes its slice of the byte stream and
+//! DMAs back one match bit per record (§IV-B). This crate is the
+//! software form of that scaling step, built directly on the
+//! [`FilterBackend`] seam of `rfjson-core`:
+//!
+//! 1. the input buffer is split at **record boundaries** into per-thread
+//!    shards ([`rfjson_jsonstream::frame::shard_ranges`] — every cut
+//!    lands immediately after a `\n`, so each shard is a self-contained
+//!    NDJSON sub-stream);
+//! 2. one backend instance per shard runs on a scoped thread
+//!    (`std::thread::scope` — no `unsafe`, no extra dependencies);
+//! 3. the per-shard decision vectors are reassembled in input order.
+//!
+//! Because the serial path resets the filter right after every `\n`,
+//! a freshly compiled backend at a shard start is in **exactly** the
+//! state the serial filter would be in at that offset — so the sharded
+//! decisions are byte-for-byte identical to the serial ones, for any
+//! backend and any shard count. The differential tests in this crate
+//! and in the root crate (`tests/parallel_diff.rs`) hold that equality
+//! at shard counts {1, 2, 3, 8} over generated corpora.
+//!
+//! ```
+//! use rfjson_core::{Engine, Expr};
+//! use rfjson_runtime::ShardedRunner;
+//!
+//! let expr = Expr::and([Expr::substring(b"humidity", 1)?, Expr::int_range(10, 90)]);
+//! let stream = b"{\"n\":\"humidity\",\"v\":\"55\"}\n{\"n\":\"humidity\",\"v\":\"95\"}\n";
+//!
+//! let mut runner: ShardedRunner<Engine> = ShardedRunner::with_shards(&expr, 2);
+//! assert_eq!(runner.filter_stream(stream), vec![true, false]);
+//! # Ok::<(), rfjson_core::expr::ExprError>(())
+//! ```
+//!
+//! This is the architectural seam future scaling work (async ingest,
+//! multi-query sharing, real hardware offload) plugs into: anything that
+//! implements [`FilterBackend`] is sharded for free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rfjson_core::backend::FilterBackend;
+use rfjson_core::expr::Expr;
+use rfjson_jsonstream::frame::shard_ranges;
+use std::ops::Range;
+
+/// How a [`ShardedRunner`] divides work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Number of shards (thread lanes). `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub shards: Option<usize>,
+    /// Inputs smaller than this per shard are not worth a thread: the
+    /// effective shard count is capped at `stream_len / min_shard_bytes`
+    /// (at least 1), so small streams run serially with zero spawn
+    /// overhead.
+    pub min_shard_bytes: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            shards: None,
+            min_shard_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A raw filter replicated across threads over record-aligned shards of
+/// the input — the software analogue of the paper's parallel RF lanes.
+///
+/// The runner is generic over the backend: `ShardedRunner<Engine>` for
+/// bulk throughput, `ShardedRunner<CompiledFilter>` for the
+/// cosim-faithful model, or any future [`FilterBackend`]. Backend
+/// lanes are compiled lazily on first use and **cached across calls**,
+/// so a long-lived runner pays compilation once, not per stream.
+#[derive(Debug, Clone)]
+pub struct ShardedRunner<B: FilterBackend> {
+    expr: Expr,
+    config: RunnerConfig,
+    /// Cached per-shard backend lanes, grown on demand (lane `i` serves
+    /// shard `i`; every lane is reset at the start of each stream by
+    /// the backend's own stream driver).
+    lanes: Vec<B>,
+}
+
+impl<B: FilterBackend + Send> ShardedRunner<B> {
+    /// Runner with the default configuration (one shard per available
+    /// core, 64 KiB minimum shard size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression fails validation (same contract as
+    /// [`FilterBackend::compile`]).
+    pub fn new(expr: &Expr) -> Self {
+        Self::with_config(expr, RunnerConfig::default())
+    }
+
+    /// Runner with an explicit shard count (no minimum-size cap) —
+    /// what the differential tests use to pin lane counts.
+    pub fn with_shards(expr: &Expr, shards: usize) -> Self {
+        Self::with_config(
+            expr,
+            RunnerConfig {
+                shards: Some(shards),
+                min_shard_bytes: 1,
+            },
+        )
+    }
+
+    /// Runner with full configuration control.
+    pub fn with_config(expr: &Expr, config: RunnerConfig) -> Self {
+        expr.validate().expect("expression must be well-formed");
+        ShardedRunner {
+            expr: expr.clone(),
+            config,
+            lanes: Vec::new(),
+        }
+    }
+
+    /// The source expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> RunnerConfig {
+        self.config
+    }
+
+    /// Effective shard count for a stream of `stream_len` bytes.
+    pub fn shards_for(&self, stream_len: usize) -> usize {
+        let requested = self
+            .config
+            .shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let cap = (stream_len / self.config.min_shard_bytes.max(1)).max(1);
+        requested.min(cap)
+    }
+
+    /// The record-aligned ranges a call over `stream` would fan out to.
+    pub fn plan(&self, stream: &[u8]) -> Vec<Range<usize>> {
+        shard_ranges(stream, self.shards_for(stream.len()))
+    }
+
+    /// Filters a newline-delimited stream, returning per-record accept
+    /// decisions in input order — byte-for-byte identical to the serial
+    /// [`FilterBackend::filter_stream`] of the same backend.
+    pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.filter_stream_into(stream, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`ShardedRunner::filter_stream`]:
+    /// appends one decision per record to `out`.
+    pub fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
+        let ranges = self.plan(stream);
+        while self.lanes.len() < ranges.len().max(1) {
+            self.lanes.push(B::compile(&self.expr));
+        }
+        if ranges.len() <= 1 {
+            // Serial fast path: no threads for one (or zero) shards.
+            if let Some(r) = ranges.first() {
+                self.lanes[0].filter_stream_into(&stream[r.clone()], out);
+            }
+            return;
+        }
+        let results: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .lanes
+                .iter_mut()
+                .zip(ranges.iter().cloned())
+                .map(|(lane, range)| scope.spawn(move || lane.filter_stream(&stream[range])))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        // Shards are spawned (and joined) in stream order, so plain
+        // concatenation reassembles the decision vector in input order.
+        for shard_decisions in &results {
+            out.extend_from_slice(shard_decisions);
+        }
+    }
+}
+
+/// One-shot convenience: filter `stream` with backend `B` across
+/// `shards` lanes.
+///
+/// ```
+/// use rfjson_core::{Engine, Expr};
+/// use rfjson_runtime::filter_stream_sharded;
+///
+/// let expr = Expr::int_range(1, 5);
+/// let decisions = filter_stream_sharded::<Engine>(&expr, b"{\"a\":3}\n{\"a\":9}", 8);
+/// assert_eq!(decisions, vec![true, false]);
+/// ```
+pub fn filter_stream_sharded<B: FilterBackend + Send>(
+    expr: &Expr,
+    stream: &[u8],
+    shards: usize,
+) -> Vec<bool> {
+    ShardedRunner::<B>::with_shards(expr, shards).filter_stream(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfjson_core::{CompiledFilter, Engine, FilterBackend};
+
+    fn ctx_expr() -> Expr {
+        Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ])
+    }
+
+    fn serial_engine(expr: &Expr, stream: &[u8]) -> Vec<bool> {
+        Engine::compile(expr).filter_stream(stream)
+    }
+
+    /// Sharded output must equal the serial engine AND the serial model
+    /// for every shard count under test.
+    fn assert_sharded_equals_serial(expr: &Expr, stream: &[u8]) {
+        let engine = serial_engine(expr, stream);
+        let model = CompiledFilter::compile(expr).filter_stream(stream);
+        assert_eq!(engine, model, "serial paths disagree before sharding");
+        for shards in [1, 2, 3, 8] {
+            let parallel = filter_stream_sharded::<Engine>(expr, stream, shards);
+            assert_eq!(parallel, engine, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn record_spanning_a_shard_split_point() {
+        // One long record dominates the stream: the ideal cut for 2
+        // shards lands mid-record, and the splitter must push the cut to
+        // the record's end instead of splitting it.
+        let long = format!(
+            "{{\"n\":\"temperature\",\"pad\":\"{}\",\"v\":\"21.0\"}}",
+            "x".repeat(400)
+        );
+        let stream = format!("{long}\n{{\"n\":\"temperature\",\"v\":\"21.0\"}}\n");
+        let runner: ShardedRunner<Engine> = ShardedRunner::with_shards(&ctx_expr(), 2);
+        let plan = runner.plan(stream.as_bytes());
+        assert!(
+            plan.iter().all(|r| stream.as_bytes()[r.end - 1] == b'\n'),
+            "cuts must land after newlines: {plan:?}"
+        );
+        assert_sharded_equals_serial(&ctx_expr(), stream.as_bytes());
+    }
+
+    #[test]
+    fn crlf_at_split_point() {
+        // CRLF-terminated records sized so cuts land around the \r\n.
+        let stream = b"{\"a\":3}\r\n{\"a\":9}\r\n{\"a\":4}\r\n{\"a\":2}\r\n".repeat(5);
+        assert_sharded_equals_serial(&Expr::int_range(1, 5), &stream);
+    }
+
+    #[test]
+    fn blank_lines_and_cr_debris() {
+        let stream: &[u8] = b"\n\n{\"a\":3}\r\n\r\n\r\r\n{\"a\":9}\n\n\n{\"a\":4}\n";
+        assert_sharded_equals_serial(&Expr::int_range(1, 5), stream);
+    }
+
+    #[test]
+    fn trailing_record_without_newline() {
+        let stream: &[u8] = b"{\"a\":3}\n{\"a\":9}\n{\"a\":4}";
+        assert_sharded_equals_serial(&Expr::int_range(1, 5), stream);
+        // The trailing record must land in the last shard untouched.
+        let runner: ShardedRunner<Engine> = ShardedRunner::with_shards(&Expr::int_range(1, 5), 3);
+        let plan = runner.plan(stream);
+        assert_eq!(plan.last().unwrap().end, stream.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        for shards in [1, 2, 8] {
+            assert!(
+                filter_stream_sharded::<Engine>(&Expr::int_range(1, 5), b"", shards).is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_exceeds_record_count() {
+        let stream: &[u8] = b"{\"a\":3}\n{\"a\":9}\n";
+        let parallel = filter_stream_sharded::<Engine>(&Expr::int_range(1, 5), stream, 64);
+        assert_eq!(parallel, vec![true, false]);
+        assert_sharded_equals_serial(&Expr::int_range(1, 5), stream);
+    }
+
+    #[test]
+    fn model_backend_shards_identically() {
+        let stream = b"{\"e\":[{\"v\":\"21.0\",\"n\":\"temperature\"}]}\n".repeat(9);
+        let serial = CompiledFilter::compile(&ctx_expr()).filter_stream(&stream);
+        for shards in [1, 2, 3, 8] {
+            assert_eq!(
+                filter_stream_sharded::<CompiledFilter>(&ctx_expr(), &stream, shards),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn min_shard_bytes_caps_fanout() {
+        let runner: ShardedRunner<Engine> = ShardedRunner::with_config(
+            &Expr::int_range(1, 5),
+            RunnerConfig {
+                shards: Some(8),
+                min_shard_bytes: 1024,
+            },
+        );
+        assert_eq!(runner.shards_for(100), 1, "tiny stream stays serial");
+        assert_eq!(
+            runner.shards_for(4096),
+            4,
+            "mid-size stream caps at len/min"
+        );
+        assert_eq!(runner.shards_for(1 << 20), 8, "big stream uses all shards");
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        let runner: ShardedRunner<Engine> = ShardedRunner::new(&Expr::int_range(1, 5));
+        let n = runner.shards_for(usize::MAX);
+        assert!(n >= 1);
+        assert_eq!(runner.config(), RunnerConfig::default());
+    }
+}

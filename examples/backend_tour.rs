@@ -1,0 +1,79 @@
+//! Backend tour: the same query executed by every [`FilterBackend`] —
+//! the cosim-faithful model, the flat batch engine, the gate-level RTL
+//! co-simulation, and the sharded parallel runtime — producing the same
+//! per-record decisions from the same interface.
+//!
+//! ```sh
+//! cargo run --release --example backend_tour
+//! ```
+
+use rfjson_core::cosim::CosimBackend;
+use rfjson_core::{CompiledFilter, Engine, Expr, FilterBackend};
+use rfjson_riotbench::smartcity_corpus;
+use rfjson_runtime::ShardedRunner;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Listing 2's query: { s1("temperature") & v(0.7 <= f <= 35.1) }
+    let expr = Expr::context([
+        Expr::substring(b"temperature", 1)?,
+        Expr::float_range("0.7", "35.1")?,
+    ]);
+
+    // A small seeded SmartCity stream (cosim is gate-level and slow, so
+    // keep the tour corpus modest; the software paths handle MBs).
+    let dataset = smartcity_corpus(40);
+    let stream = dataset.stream();
+
+    println!("query: {expr}");
+    println!(
+        "stream: {} records, {} bytes\n",
+        dataset.len(),
+        stream.len()
+    );
+
+    // Any backend behind the one trait...
+    let mut backends: Vec<Box<dyn FilterBackend>> = vec![
+        Box::new(CompiledFilter::compile(&expr)),
+        Box::new(Engine::compile(&expr)),
+        Box::new(CosimBackend::compile(&expr)),
+    ];
+
+    let mut reference: Option<Vec<bool>> = None;
+    println!("{:<8} {:>10} {:>12}", "backend", "accepted", "time");
+    for backend in &mut backends {
+        let t = Instant::now();
+        let decisions = backend.filter_stream(&stream);
+        let elapsed = t.elapsed();
+        println!(
+            "{:<8} {:>7}/{:<3} {:>10.2?}",
+            backend.name(),
+            decisions.iter().filter(|d| **d).count(),
+            decisions.len(),
+            elapsed
+        );
+        match &reference {
+            None => reference = Some(decisions),
+            Some(r) => assert_eq!(&decisions, r, "{} diverged", backend.name()),
+        }
+    }
+
+    // ...and the parallel runtime replicates any of them across threads
+    // (here: the engine, one lane per core), same decisions in order.
+    let mut runner: ShardedRunner<Engine> = ShardedRunner::new(&expr);
+    let t = Instant::now();
+    let decisions = runner.filter_stream(&stream);
+    let elapsed = t.elapsed();
+    println!(
+        "{:<8} {:>7}/{:<3} {:>10.2?}   ({} shard(s))",
+        "sharded",
+        decisions.iter().filter(|d| **d).count(),
+        decisions.len(),
+        elapsed,
+        runner.plan(&stream).len()
+    );
+    assert_eq!(Some(decisions), reference, "sharded runner diverged");
+
+    println!("\nall execution paths agree on every record decision");
+    Ok(())
+}

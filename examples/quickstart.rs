@@ -9,6 +9,7 @@
 use rfjson_core::cost::exact_cost;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::Expr;
+use rfjson_core::FilterBackend;
 
 const LISTING1: &[u8] = br#"{"e":[{"v":"35.2","u":"far","n":"temperature"},{"v":"12","u":"per","n":"humidity"},{"v":"713","u":"per","n":"light"},{"v":"305.01","u":"per","n":"dust"},{"v":"20","u":"per","n":"airquality_raw"}],"bt":1422748800000}"#;
 

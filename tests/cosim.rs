@@ -4,31 +4,21 @@
 //! form of every netlist must be functionally equivalent to the netlist.
 
 use proptest::prelude::*;
+use rfjson_core::cosim::CosimBackend;
 use rfjson_core::elaborate::elaborate_filter;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::FilterBackend;
 use rfjson_riotbench::{smartcity, taxi, twitter};
-use rfjson_rtl::{BitVec, Netlist, Simulator};
 use rfjson_techmap::aig::Aig;
 use rfjson_techmap::map_aig;
 
-/// Streams records through a filter netlist, sampling the match output at
-/// each newline cycle.
-fn hw_filter_stream(netlist: &Netlist, records: &[&[u8]]) -> Vec<bool> {
-    let mut sim = Simulator::new(netlist).expect("netlist is well-formed");
-    let mut out = Vec::new();
-    for record in records {
-        let mut accept = false;
-        for &b in record.iter().chain(b"\n") {
-            sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
-                .expect("byte port exists");
-            sim.settle();
-            accept = sim.output("match").expect("match port exists");
-            sim.clock();
-        }
-        out.push(accept);
-    }
-    out
+/// Streams records through the elaborated netlist via the cosim filter
+/// backend — the same [`FilterBackend`] interface the software paths
+/// use, so hardware and software are driven identically.
+fn hw_filter_stream(expr: &Expr, records: &[&[u8]]) -> Vec<bool> {
+    let mut hw = CosimBackend::compile(expr);
+    records.iter().map(|r| hw.accepts_record(r)).collect()
 }
 
 fn sw_filter_stream(expr: &Expr, records: &[&[u8]]) -> Vec<bool> {
@@ -37,8 +27,7 @@ fn sw_filter_stream(expr: &Expr, records: &[&[u8]]) -> Vec<bool> {
 }
 
 fn assert_cosim_on(expr: &Expr, records: &[&[u8]]) {
-    let netlist = elaborate_filter(expr, "dut");
-    let hw = hw_filter_stream(&netlist, records);
+    let hw = hw_filter_stream(expr, records);
     let sw = sw_filter_stream(expr, records);
     for ((record, h), s) in records.iter().zip(&hw).zip(&sw) {
         assert_eq!(
@@ -123,6 +112,57 @@ fn cosim_zoo_on_twitter() {
 }
 
 #[test]
+fn hardware_newline_reset_isolates_records() {
+    // The backend's stream driver force-resets between records, so this
+    // test deliberately does NOT: one live netlist consumes a whole
+    // multi-record stream byte-by-byte, and only the elaborated `\n`
+    // record_reset logic separates the records — a regression in that
+    // hardware reset (match latch, DFA state, or depth counter carrying
+    // over) shows up here and nowhere else.
+    let exprs = [
+        Expr::substring(b"temperature", 1).unwrap(),
+        Expr::float_range("0.7", "35.1").unwrap(),
+        Expr::context_scoped(
+            StructScope::Member,
+            [Expr::substring(b"x", 1).unwrap(), Expr::int_range(1, 5)],
+        ),
+    ];
+    // State-poisoning sequence: matches, non-matches, unbalanced
+    // brackets, a dangling string quote — each must be fully cleared by
+    // the `\n` alone before the next record arrives.
+    let records: Vec<&[u8]> = vec![
+        br#"{"e":[{"v":"21.0","n":"temperature"}]}"#,
+        b"}{,\"x\":2",
+        br#"{"x":3,"y":99}"#,
+        br#"{"open":"unterminated"#,
+        br#"{"x":9,"v":"99.0","n":"temperature"}"#,
+        br#"{"x":4}"#,
+    ];
+    for expr in &exprs {
+        let mut hw = CosimBackend::compile(expr);
+        let mut sw = CompiledFilter::compile(expr);
+        hw.reset();
+        sw.reset();
+        let mut hw_decisions = Vec::new();
+        let mut sw_decisions = Vec::new();
+        for record in &records {
+            for &b in record.iter() {
+                hw.on_byte(b);
+                sw.on_byte(b);
+            }
+            // Decision is sampled at the separator cycle; for the
+            // hardware, that same cycle performs the in-band reset. The
+            // software model's reset is the driver's job, so only `sw`
+            // gets an explicit one.
+            hw_decisions.push(hw.on_byte(b'\n'));
+            sw_decisions.push(sw.on_byte(b'\n'));
+            sw.reset();
+        }
+        assert_eq!(hw_decisions, sw_decisions, "expr `{expr}`");
+    }
+}
+
+#[test]
 fn mapped_netlists_equivalent_to_source() {
     // For each zoo expression: AIG of the elaborated netlist vs its
     // LUT-mapped network on pseudo-random input vectors.
@@ -172,8 +212,7 @@ proptest! {
             temp / 10, temp % 10, hum / 10, hum % 10, extra,
         );
         let records: Vec<&[u8]> = vec![record.as_bytes()];
-        let netlist = elaborate_filter(&expr, "dut");
-        let hw = hw_filter_stream(&netlist, &records);
+        let hw = hw_filter_stream(&expr, &records);
         let sw = sw_filter_stream(&expr, &records);
         prop_assert_eq!(hw, sw);
     }
@@ -187,8 +226,7 @@ proptest! {
         let expr = Expr::float_range("-12.5", "43.1").unwrap();
         let record = format!("{{\"vals\":[{}]}}", tokens.join(","));
         let records: Vec<&[u8]> = vec![record.as_bytes()];
-        let netlist = elaborate_filter(&expr, "dut");
-        let hw = hw_filter_stream(&netlist, &records);
+        let hw = hw_filter_stream(&expr, &records);
         let sw = sw_filter_stream(&expr, &records);
         prop_assert_eq!(hw, sw);
     }

@@ -6,6 +6,7 @@ use rfjson_core::arch::RawFilterSystem;
 use rfjson_core::elaborate::elaborate_filter;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
+use rfjson_core::FilterBackend;
 use rfjson_rtl::{BitVec, Simulator};
 
 fn ctx_filter() -> Expr {

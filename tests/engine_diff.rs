@@ -9,6 +9,7 @@ use rfjson_core::engine::Engine;
 use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
 use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
 use rfjson_riotbench::{smartcity, taxi, twitter, Query};
 
 /// Steps both execution paths over `record + '\n'` and asserts the accept

@@ -1,0 +1,130 @@
+//! Cross-impl framing equivalence: the NDJSON framing rules live once in
+//! `rfjson_jsonstream::frame`, and every consumer — the slice iterator,
+//! the chunk assembler, the byte-serial stream driver behind
+//! [`FilterBackend`], and the shard splitter — must agree on **which**
+//! records a stream contains, for any input.
+
+use proptest::prelude::*;
+use rfjson_core::{CompiledFilter, Engine, Expr, FilterBackend};
+use rfjson_jsonstream::frame::{shard_ranges, split_records, ChunkFramer, FrameAction};
+use rfjson_jsonstream::FrameAssembler;
+
+/// Record contents via the chunked assembler, at a given chunk size.
+fn assembler_records(stream: &[u8], chunk_size: usize) -> Vec<Vec<u8>> {
+    let mut asm = FrameAssembler::new();
+    let mut got = Vec::new();
+    for chunk in stream.chunks(chunk_size.max(1)) {
+        asm.push_chunk(chunk, |r| got.push(r.to_vec()));
+    }
+    asm.finish(|r| got.push(r.to_vec()));
+    got
+}
+
+/// Record count via the raw byte-serial framer (what the stream drivers
+/// inside `FilterBackend::filter_stream_into` consume).
+fn framer_record_count(stream: &[u8]) -> usize {
+    let mut framer = ChunkFramer::new();
+    let mut n = 0;
+    for &b in stream {
+        if framer.on_byte(b) == FrameAction::EndRecord {
+            n += 1;
+        }
+    }
+    if framer.finish() {
+        n += 1;
+    }
+    n
+}
+
+/// Asserts that every framing view agrees on `stream`.
+fn assert_framing_agreement(stream: &[u8]) {
+    let split: Vec<Vec<u8>> = split_records(stream).map(<[u8]>::to_vec).collect();
+
+    // Chunk assembler, across chunk sizes.
+    for chunk_size in [1, 2, 3, 7, 64, stream.len().max(1)] {
+        assert_eq!(
+            assembler_records(stream, chunk_size),
+            split,
+            "assembler(chunk={chunk_size}) vs split_records on {:?}",
+            String::from_utf8_lossy(stream)
+        );
+    }
+
+    // Byte-serial framer.
+    assert_eq!(
+        framer_record_count(stream),
+        split.len(),
+        "ChunkFramer vs split_records on {:?}",
+        String::from_utf8_lossy(stream)
+    );
+
+    // Backend stream drivers: one decision per record, both backends.
+    let expr = Expr::int_range(1, 5);
+    for decisions in [
+        CompiledFilter::compile(&expr).filter_stream(stream),
+        Engine::compile(&expr).filter_stream(stream),
+    ] {
+        assert_eq!(
+            decisions.len(),
+            split.len(),
+            "filter_stream decision count vs split_records on {:?}",
+            String::from_utf8_lossy(stream)
+        );
+    }
+
+    // Shard splitter: concatenated shard records == serial records.
+    for shards in [1, 2, 3, 8] {
+        let sharded: Vec<Vec<u8>> = shard_ranges(stream, shards)
+            .into_iter()
+            .flat_map(|r| split_records(&stream[r]).map(<[u8]>::to_vec))
+            .collect();
+        assert_eq!(
+            sharded,
+            split,
+            "shard_ranges({shards}) vs split_records on {:?}",
+            String::from_utf8_lossy(stream)
+        );
+    }
+}
+
+#[test]
+fn framing_views_agree_on_edge_streams() {
+    let streams: Vec<&[u8]> = vec![
+        b"",
+        b"\n",
+        b"\r\n",
+        b"\r\r\n",
+        b"\r",
+        b"a",
+        b"a\n",
+        b"a\r\n",
+        b"a\r\r\n",
+        b"a\rb\nc",
+        b"\n\na\n\n\nb\n\n",
+        b"{\"a\":3}\r\n\r\n{\"a\":9}\n\n{\"a\":2}",
+        b"{\"a\":1}\n{\"b\":2}\n{\"c\":3}",
+        b"trailing-no-newline",
+    ];
+    for stream in &streams {
+        assert_framing_agreement(stream);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random mixtures of content bytes, CR, LF — the full framing
+    /// state space.
+    #[test]
+    fn framing_views_agree_on_random_streams(
+        soup in proptest::collection::vec(
+            prop_oneof![
+                Just(b'\n'), Just(b'\r'), Just(b'a'), Just(b'{'),
+                Just(b'}'), Just(b'"'), Just(b'1'), Just(b','),
+            ],
+            0..200,
+        ),
+    ) {
+        assert_framing_agreement(&soup);
+    }
+}

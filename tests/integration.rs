@@ -9,7 +9,7 @@ use rfjson_core::eval::{measure, positional_fpr};
 use rfjson_core::expr::{Expr, StringTechnique};
 use rfjson_core::primitive::SubstringMatcher;
 use rfjson_core::query::query_to_exprs;
-use rfjson_core::CompiledFilter;
+use rfjson_core::{CompiledFilter, FilterBackend};
 use rfjson_jsonstream::parse;
 use rfjson_riotbench::{smartcity, taxi, twitter, Query};
 

@@ -8,6 +8,7 @@ use rfjson_core::expr::{Expr, StructScope};
 use rfjson_core::primitive::{
     exact_end_positions, DfaStringMatcher, FireFilter, SubstringMatcher, WindowMatcher,
 };
+use rfjson_core::FilterBackend;
 use rfjson_jsonstream::{NestingTracker, StringMask};
 use rfjson_redfa::range::{NumberBounds, NumberKind};
 use rfjson_redfa::Decimal;

@@ -1,0 +1,132 @@
+//! Differential tests for the sharded parallel runtime: for any
+//! expression, stream, and shard count, `ShardedRunner` decisions must
+//! be **identical** to the serial `Engine::filter_stream` and
+//! `CompiledFilter::filter_stream` — sharding is allowed to be faster,
+//! never different.
+
+use proptest::prelude::*;
+use rfjson_core::query::query_to_exprs;
+use rfjson_core::{CompiledFilter, Engine, Expr, FilterBackend, StructScope};
+use rfjson_riotbench::{smartcity, taxi, twitter, Query};
+use rfjson_runtime::{filter_stream_sharded, ShardedRunner};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Serial engine + serial model + sharded runner (both backends) must
+/// all produce the same decision vector.
+fn assert_parallel_equals_serial(expr: &Expr, stream: &[u8]) {
+    let serial_engine = Engine::compile(expr).filter_stream(stream);
+    let serial_model = CompiledFilter::compile(expr).filter_stream(stream);
+    assert_eq!(
+        serial_engine, serial_model,
+        "serial paths disagree on expr `{expr}`"
+    );
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            filter_stream_sharded::<Engine>(expr, stream, shards),
+            serial_engine,
+            "engine-backed runner diverges: expr `{expr}`, shards {shards}"
+        );
+        assert_eq!(
+            filter_stream_sharded::<CompiledFilter>(expr, stream, shards),
+            serial_model,
+            "model-backed runner diverges: expr `{expr}`, shards {shards}"
+        );
+    }
+}
+
+/// Expressions covering every primitive technique, both structural
+/// scopes, and the paper's Table VIII queries.
+fn expression_zoo() -> Vec<Expr> {
+    vec![
+        Expr::substring(b"temperature", 1).unwrap(),
+        Expr::window(b"light").unwrap(),
+        Expr::dfa_string(b"humidity").unwrap(),
+        Expr::int_range(12, 49),
+        Expr::float_range("-12.5", "43.1").unwrap(),
+        Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]),
+        Expr::context_scoped(
+            StructScope::Member,
+            [
+                Expr::substring(b"tolls_amount", 2).unwrap(),
+                Expr::float_range("2.50", "18.00").unwrap(),
+            ],
+        ),
+        query_to_exprs(&Query::qs0(), 1).unwrap(),
+        query_to_exprs(&Query::qt(), 2).unwrap(),
+    ]
+}
+
+#[test]
+fn parallel_equals_serial_on_generated_corpora() {
+    let datasets = [
+        smartcity::generate(310, 60),
+        taxi::generate(311, 60),
+        twitter::generate(312, 40),
+    ];
+    for expr in expression_zoo() {
+        for ds in &datasets {
+            assert_parallel_equals_serial(&expr, &ds.stream());
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_serial_on_adversarial_framing() {
+    let streams: Vec<&[u8]> = vec![
+        b"",
+        b"\n\n\n",
+        b"{\"a\":3}",
+        b"{\"a\":3}\r\n\r\n{\"a\":9}\n\n{\"a\":2}",
+        b"\r\n{\"a\":3}\r\n",
+        br#"{"e":[{"v":"21.0","n":"temperature"}]}"#,
+    ];
+    for expr in expression_zoo() {
+        for stream in &streams {
+            assert_parallel_equals_serial(&expr, stream);
+        }
+    }
+}
+
+#[test]
+fn runner_reuses_output_buffer() {
+    let expr = Expr::int_range(1, 5);
+    let mut runner: ShardedRunner<Engine> = ShardedRunner::with_shards(&expr, 3);
+    let stream = b"{\"a\":3}\n{\"a\":9}\n{\"a\":4}\n";
+    let mut out = Vec::new();
+    runner.filter_stream_into(stream, &mut out);
+    runner.filter_stream_into(stream, &mut out);
+    assert_eq!(out, vec![true, false, true, true, false, true]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random corpora × random zoo expression × every shard count.
+    #[test]
+    fn parallel_equals_serial_on_random_corpora(
+        seed in 0u64..1_000_000,
+        n in 1usize..30,
+        which in 0usize..3,
+        expr_idx in 0usize..9,
+    ) {
+        let ds = match which {
+            0 => smartcity::generate(seed, n),
+            1 => taxi::generate(seed, n),
+            _ => twitter::generate(seed, n),
+        };
+        let zoo = expression_zoo();
+        let expr = &zoo[expr_idx % zoo.len()];
+        let stream = ds.stream();
+        let serial = Engine::compile(expr).filter_stream(&stream);
+        for shards in SHARD_COUNTS {
+            prop_assert_eq!(
+                &filter_stream_sharded::<Engine>(expr, &stream, shards),
+                &serial
+            );
+        }
+    }
+}
