@@ -15,10 +15,10 @@ fn construction(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("range_dfa_12_49", |b| {
-        b.iter(|| black_box(NumberBounds::int_range(12, 49).to_dfa()))
+        b.iter(|| black_box(NumberBounds::int_range(12, 49).to_dfa()));
     });
     group.bench_function("range_dfa_1345_26282", |b| {
-        b.iter(|| black_box(NumberBounds::int_range(1345, 26282).to_dfa()))
+        b.iter(|| black_box(NumberBounds::int_range(1345, 26282).to_dfa()));
     });
     group.bench_function("range_dfa_float", |b| {
         b.iter(|| {
@@ -29,7 +29,7 @@ fn construction(c: &mut Criterion) {
             )
             .expect("valid");
             black_box(bounds.to_dfa())
-        })
+        });
     });
 
     let pair = Expr::context([
@@ -37,13 +37,13 @@ fn construction(c: &mut Criterion) {
         Expr::float_range("0.7", "35.1").expect("valid"),
     ]);
     group.bench_function("elaborate_struct_pair", |b| {
-        b.iter(|| black_box(elaborate_filter(black_box(&pair), "bench")))
+        b.iter(|| black_box(elaborate_filter(black_box(&pair), "bench")));
     });
     group.bench_function("map_struct_pair_exact", |b| {
-        b.iter(|| black_box(exact_cost(black_box(&pair))))
+        b.iter(|| black_box(exact_cost(black_box(&pair))));
     });
     group.bench_function("map_struct_pair_option", |b| {
-        b.iter(|| black_box(option_cost(black_box(&pair))))
+        b.iter(|| black_box(option_cost(black_box(&pair))));
     });
     group.finish();
 }

@@ -48,7 +48,7 @@ fn primitive_throughput(c: &mut Criterion) {
     for (name, expr) in cases {
         let mut filter = CompiledFilter::compile(&expr);
         group.bench_function(format!("model/{name}"), |b| {
-            b.iter(|| black_box(filter.filter_stream(black_box(&stream))))
+            b.iter(|| black_box(filter.filter_stream(black_box(&stream))));
         });
         let mut engine = Engine::compile(&expr);
         let mut out = Vec::new();
@@ -57,7 +57,7 @@ fn primitive_throughput(c: &mut Criterion) {
                 out.clear();
                 engine.filter_stream_into(black_box(&stream), &mut out);
                 black_box(out.len())
-            })
+            });
         });
     }
     group.finish();

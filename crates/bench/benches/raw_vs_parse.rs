@@ -32,7 +32,7 @@ fn raw_vs_parse(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
 
         let expr = query_to_exprs(&query, 1).expect("query converts");
@@ -49,7 +49,7 @@ fn raw_vs_parse(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
 
         let mut model = CompiledFilter::compile(&expr);
@@ -65,7 +65,7 @@ fn raw_vs_parse(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
 
         // The hardware-relevant variant: filtering is free (happens in the
@@ -86,7 +86,7 @@ fn raw_vs_parse(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
         group.finish();
     }

@@ -57,7 +57,7 @@ fn main() {
         let d = b.to_dfa();
         let lo = b.lo().to_f64();
         let hi = b.hi().to_f64();
-        let mid = format!("{}", ((lo + hi) / 2.0).round());
+        let mid = format!("{}", f64::midpoint(lo, hi).round());
         println!(
             "{name:<28} {:>6} {:>8} {:>8}",
             d.num_states(),

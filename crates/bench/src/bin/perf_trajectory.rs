@@ -205,9 +205,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let pr: u32 = parse_flag(&args, "--pr").unwrap_or(DEFAULT_PR);
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let shards: usize = parse_flag(&args, "--shards").unwrap_or(threads).max(1);
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 

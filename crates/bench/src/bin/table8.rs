@@ -32,8 +32,7 @@ fn show(query: &Query, dataset: &Dataset) {
     println!("  per-predicate pass rates and value statistics:");
     for (attr, rate) in predicate_pass_rates(dataset, query) {
         let stats = attribute_stats(dataset, query, &attr)
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| "absent".into());
+            .map_or_else(|| "absent".into(), |s| s.to_string());
         println!("    {attr:<20} pass {:>5.1} %   {stats}", rate * 100.0);
     }
     let product: f64 = predicate_pass_rates(dataset, query)

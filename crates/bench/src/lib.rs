@@ -60,9 +60,10 @@ pub fn cell(fpr: f64, luts: usize) -> String {
 
 /// Simple fixed-width table printer.
 pub fn print_row(cols: &[String], widths: &[usize]) {
+    use std::fmt::Write;
     let mut line = String::new();
     for (c, w) in cols.iter().zip(widths) {
-        line.push_str(&format!("{c:<w$}  "));
+        let _ = write!(line, "{c:<w$}  ");
     }
     println!("{}", line.trim_end());
 }

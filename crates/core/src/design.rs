@@ -49,9 +49,7 @@ impl Default for ExploreOptions {
             include_string_only: true,
             include_plain_pairs: true,
             max_records: 0,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
         }
     }
 }

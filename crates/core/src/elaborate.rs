@@ -177,7 +177,28 @@ pub fn elaborate_filter(expr: &Expr, name: &str) -> Netlist {
     let sig = build_stream_logic(&mut n, &byte);
     let accept = elaborate_filter_with(&mut n, expr, &sig);
     n.output("match", accept);
+    assert_netlist_sane(&n, expr);
     n
+}
+
+/// Static self-verification of a freshly elaborated netlist: no dangling
+/// flip-flop data inputs, no combinational cycles. The full diagnostic
+/// pass (multi-driver ports, dead nets, fanout statistics) lives in
+/// `rfjson-verify`; this debug-only gate catches elaboration bugs at the
+/// point of creation.
+fn assert_netlist_sane(n: &Netlist, expr: &Expr) {
+    let _ = (n, expr);
+    #[cfg(debug_assertions)]
+    {
+        debug_assert!(
+            n.check_connected().is_ok(),
+            "elaboration of `{expr}` left an unconnected flip-flop"
+        );
+        debug_assert!(
+            n.comb_topo_order().is_ok(),
+            "elaboration of `{expr}` created a combinational cycle"
+        );
+    }
 }
 
 /// Elaborates only the option-specific logic, taking structure signals as
@@ -187,6 +208,7 @@ pub fn elaborate_option(expr: &Expr, name: &str) -> Netlist {
     let sig = stream_signals_as_inputs(&mut n);
     let accept = elaborate_filter_with(&mut n, expr, &sig);
     n.output("match", accept);
+    assert_netlist_sane(&n, expr);
     n
 }
 
@@ -588,7 +610,7 @@ mod tests {
         let netlist = elaborate_filter(&expr, "dut");
         let mut sim = Simulator::new(&netlist).unwrap();
         let mut accepts = Vec::new();
-        for &b in b"{\"k\":\"a\"}\n{\"k\":\"b\"}\n".iter() {
+        for &b in b"{\"k\":\"a\"}\n{\"k\":\"b\"}\n" {
             sim.set_input_word("byte", &BitVec::from_u64(u64::from(b), 8))
                 .unwrap();
             sim.settle();

@@ -41,6 +41,383 @@ use rfjson_redfa::DENSE_ACCEPT_BIT;
 /// State-index part of a dense state word.
 const STATE_MASK: u16 = !DENSE_ACCEPT_BIT;
 
+/// Combinator kind of one [`OpView`] — the public mirror of the engine's
+/// internal op encoding, exposed for static verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKindView {
+    /// All direct children latched.
+    And,
+    /// Any direct child latched.
+    Or,
+    /// Structural context: children must latch within one instance.
+    Ctx {
+        /// Mask offset of the strict-descendant clear mask.
+        clear_off: u32,
+        /// Flag-level register slot of this context.
+        ctx_id: u32,
+        /// First flag-level slot inside this context's subtree.
+        ctx_lo: u32,
+        /// Member scope (clears on instance-level commas too).
+        member: bool,
+    },
+}
+
+/// One combinator of the flat node program, as seen by the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpView {
+    /// Bit index of this node in the latch bitset.
+    pub node: u32,
+    /// Mask offset of the direct-children mask.
+    pub mask_off: u32,
+    /// Combinator kind.
+    pub kind: OpKindView,
+}
+
+/// One table-backed DFA unit (exact-string or number-range automaton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfaUnitView {
+    /// Offset of this unit's dense table inside [`ProgramView::tables`].
+    pub table_off: u32,
+    /// Dense-encoded start state (accept bit folded in).
+    pub start: u16,
+    /// Latch-bit index this unit fires.
+    pub node: u32,
+}
+
+/// Immutable snapshot of a compiled [`Engine`]'s flat node program — the
+/// input of the `rfjson-verify` static analyses. All invariants the hot
+/// loop relies on without checking (post-order evaluation, in-range mask
+/// offsets, latch-clear coverage) are observable here; [`ProgramView::check`]
+/// re-proves the structural ones and is `debug_assert!`ed at compile time.
+#[derive(Debug, Clone)]
+pub struct ProgramView {
+    /// Total node count (primitives + combinators).
+    pub num_nodes: u32,
+    /// Latch bitset width in 64-bit words.
+    pub words: usize,
+    /// Bit index of the root (record-accept) node.
+    pub root: u32,
+    /// Post-order combinator program.
+    pub ops: Vec<OpView>,
+    /// All child/clear masks, [`ProgramView::words`] u64s per mask.
+    pub masks: Vec<u64>,
+    /// Number of context flag-level registers.
+    pub num_ctxs: u32,
+    /// Concatenated dense DFA transition tables.
+    pub tables: Vec<u16>,
+    /// Exact-string DFA units, in compile (post-)order.
+    pub string_dfas: Vec<DfaUnitView>,
+    /// Number-range DFA units, in compile order.
+    pub number_dfas: Vec<DfaUnitView>,
+    /// Latch-bit indices of single-byte substring units.
+    pub sub1_nodes: Vec<u32>,
+    /// Latch-bit indices of packed substring units (2 ≤ B ≤ 8).
+    pub subp_nodes: Vec<u32>,
+    /// Latch-bit indices of wide substring units (B > 8).
+    pub wide_nodes: Vec<u32>,
+}
+
+/// One structural defect found by [`ProgramView::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramFault {
+    /// `words` is not `num_nodes.div_ceil(64)`.
+    WordWidth {
+        /// Declared width.
+        words: usize,
+        /// Width the node count requires.
+        expected: usize,
+    },
+    /// The root bit index is outside the node range or not the final node.
+    BadRoot {
+        /// Declared root.
+        root: u32,
+    },
+    /// A mask offset reaches past the mask pool.
+    MaskOutOfRange {
+        /// Node whose op referenced the mask.
+        node: u32,
+        /// Offending offset.
+        mask_off: u32,
+    },
+    /// A mask references a bit ≥ `num_nodes`.
+    MaskBitOutOfRange {
+        /// Node whose op owns the mask.
+        node: u32,
+        /// Offending bit.
+        bit: u32,
+    },
+    /// Ops are not in strictly increasing (post-order) node order.
+    NotPostOrder {
+        /// Node that broke the order.
+        node: u32,
+    },
+    /// A node is defined both as a primitive and as a combinator, or by
+    /// two combinators.
+    DoubleDefinition {
+        /// The doubly defined node.
+        node: u32,
+    },
+    /// An operand bit is used before (or without) being defined.
+    UseBeforeDef {
+        /// The combinator using the operand.
+        node: u32,
+        /// The undefined operand bit.
+        operand: u32,
+    },
+    /// A non-root node feeds no parent mask.
+    DanglingNode {
+        /// The unread node.
+        node: u32,
+    },
+    /// A node feeds more than one parent mask (the program is a tree).
+    SharedOperand {
+        /// The multiply used node.
+        node: u32,
+    },
+    /// A context's clear mask does not cover exactly its strict
+    /// descendants — a latch inside the context would never reset at
+    /// instance end (or an unrelated latch would be clobbered).
+    LatchClearMismatch {
+        /// The context node.
+        node: u32,
+        /// A descendant missing from (or an outsider present in) the
+        /// clear mask.
+        bit: u32,
+    },
+    /// Context flag-level slots are out of range or not nested properly.
+    BadCtxSlots {
+        /// The context node.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for ProgramFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramFault::WordWidth { words, expected } => {
+                write!(f, "bitset width {words} words, node count needs {expected}")
+            }
+            ProgramFault::BadRoot { root } => write!(f, "root node {root} out of place"),
+            ProgramFault::MaskOutOfRange { node, mask_off } => {
+                write!(f, "node {node}: mask offset {mask_off} out of range")
+            }
+            ProgramFault::MaskBitOutOfRange { node, bit } => {
+                write!(f, "node {node}: mask bit {bit} exceeds node count")
+            }
+            ProgramFault::NotPostOrder { node } => {
+                write!(f, "node {node} breaks post-order op sequence")
+            }
+            ProgramFault::DoubleDefinition { node } => write!(f, "node {node} defined twice"),
+            ProgramFault::UseBeforeDef { node, operand } => {
+                write!(f, "node {node} uses operand {operand} before definition")
+            }
+            ProgramFault::DanglingNode { node } => write!(f, "node {node} feeds no parent"),
+            ProgramFault::SharedOperand { node } => {
+                write!(f, "node {node} feeds more than one parent")
+            }
+            ProgramFault::LatchClearMismatch { node, bit } => {
+                write!(f, "context {node}: latch {bit} not covered by clear mask")
+            }
+            ProgramFault::BadCtxSlots { node } => {
+                write!(f, "context {node}: flag-level slots inconsistent")
+            }
+        }
+    }
+}
+
+impl ProgramView {
+    /// The bits set in the mask at `off` (empty if out of range).
+    fn mask_bits(&self, off: u32) -> Vec<u32> {
+        let lo = off as usize;
+        let hi = lo + self.words;
+        if hi > self.masks.len() {
+            return Vec::new();
+        }
+        let mut bits = Vec::new();
+        for (w, word) in self.masks[lo..hi].iter().enumerate() {
+            let mut word = *word;
+            while word != 0 {
+                let b = word.trailing_zeros();
+                bits.push(w as u32 * 64 + b);
+                word &= word - 1;
+            }
+        }
+        bits
+    }
+
+    /// Latch-bit indices of all primitive units, in compile order of
+    /// their unit arrays.
+    pub fn primitive_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self
+            .string_dfas
+            .iter()
+            .chain(&self.number_dfas)
+            .map(|u| u.node)
+            .chain(self.sub1_nodes.iter().copied())
+            .chain(self.subp_nodes.iter().copied())
+            .chain(self.wide_nodes.iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Re-proves the structural invariants of the flat program: post-order
+    /// well-formedness, operand defined-before-use, single-use tree shape,
+    /// latch clear-mask coverage, flag-slot nesting, and bitset-width
+    /// consistency. Returns every fault found (empty = well-formed).
+    ///
+    /// This is the check `Engine::compile` runs under `debug_assert!`;
+    /// `rfjson-verify` maps the same faults into its diagnostic model and
+    /// layers the cross-artifact analyses on top.
+    pub fn check(&self) -> Vec<ProgramFault> {
+        let mut faults = Vec::new();
+        let expected_words = (self.num_nodes as usize).div_ceil(64);
+        if self.words != expected_words {
+            faults.push(ProgramFault::WordWidth {
+                words: self.words,
+                expected: expected_words,
+            });
+        }
+        if self.root + 1 != self.num_nodes {
+            faults.push(ProgramFault::BadRoot { root: self.root });
+        }
+
+        // Definition sweep: primitives first, then ops in post-order.
+        let n = self.num_nodes as usize;
+        let mut defined = vec![false; n];
+        for p in self.primitive_nodes() {
+            if (p as usize) < n {
+                if defined[p as usize] {
+                    faults.push(ProgramFault::DoubleDefinition { node: p });
+                }
+                defined[p as usize] = true;
+            } else {
+                faults.push(ProgramFault::MaskBitOutOfRange { node: p, bit: p });
+            }
+        }
+        let mut used_by = vec![0u32; n];
+        let mut prev_node: Option<u32> = None;
+        let mut prev_ctx: Option<u32> = None;
+        for op in &self.ops {
+            if prev_node.is_some_and(|p| op.node <= p) {
+                faults.push(ProgramFault::NotPostOrder { node: op.node });
+            }
+            prev_node = Some(op.node);
+            if (op.mask_off as usize) + self.words > self.masks.len() {
+                faults.push(ProgramFault::MaskOutOfRange {
+                    node: op.node,
+                    mask_off: op.mask_off,
+                });
+                continue;
+            }
+            for bit in self.mask_bits(op.mask_off) {
+                if bit as usize >= n {
+                    faults.push(ProgramFault::MaskBitOutOfRange { node: op.node, bit });
+                    continue;
+                }
+                if bit >= op.node || !defined[bit as usize] {
+                    faults.push(ProgramFault::UseBeforeDef {
+                        node: op.node,
+                        operand: bit,
+                    });
+                }
+                used_by[bit as usize] += 1;
+            }
+            if (op.node as usize) < n {
+                if defined[op.node as usize] {
+                    faults.push(ProgramFault::DoubleDefinition { node: op.node });
+                }
+                defined[op.node as usize] = true;
+            } else {
+                faults.push(ProgramFault::MaskBitOutOfRange {
+                    node: op.node,
+                    bit: op.node,
+                });
+            }
+            if let OpKindView::Ctx {
+                clear_off,
+                ctx_id,
+                ctx_lo,
+                ..
+            } = op.kind
+            {
+                if ctx_id >= self.num_ctxs
+                    || ctx_lo > ctx_id
+                    || prev_ctx.is_some_and(|p| ctx_id <= p)
+                {
+                    faults.push(ProgramFault::BadCtxSlots { node: op.node });
+                }
+                prev_ctx = Some(ctx_id);
+                if (clear_off as usize) + self.words > self.masks.len() {
+                    faults.push(ProgramFault::MaskOutOfRange {
+                        node: op.node,
+                        mask_off: clear_off,
+                    });
+                } else {
+                    // Latch reset coverage: the clear mask must be exactly
+                    // the strict descendants of this context node.
+                    let descendants = self.subtree_bits(op);
+                    let clear = self.mask_bits(clear_off);
+                    for &d in &descendants {
+                        if !clear.contains(&d) {
+                            faults.push(ProgramFault::LatchClearMismatch {
+                                node: op.node,
+                                bit: d,
+                            });
+                        }
+                    }
+                    for &c in &clear {
+                        if !descendants.contains(&c) {
+                            faults.push(ProgramFault::LatchClearMismatch {
+                                node: op.node,
+                                bit: c,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &uses) in used_by.iter().enumerate() {
+            let node = i as u32;
+            let is_defined = defined[i];
+            if node == self.root {
+                if uses > 0 {
+                    faults.push(ProgramFault::SharedOperand { node });
+                }
+                continue;
+            }
+            if is_defined && uses == 0 {
+                faults.push(ProgramFault::DanglingNode { node });
+            }
+            if uses > 1 {
+                faults.push(ProgramFault::SharedOperand { node });
+            }
+        }
+        faults
+    }
+
+    /// The strict descendants of an op: transitive closure of its direct
+    /// children through the combinator masks.
+    fn subtree_bits(&self, op: &OpView) -> Vec<u32> {
+        let mut seen = vec![false; self.num_nodes as usize];
+        let mut work = self.mask_bits(op.mask_off);
+        let mut out = Vec::new();
+        while let Some(bit) = work.pop() {
+            let i = bit as usize;
+            if i >= seen.len() || seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            out.push(bit);
+            if let Some(child_op) = self.ops.iter().find(|o| o.node == bit) {
+                work.extend(self.mask_bits(child_op.mask_off));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
 #[derive(Debug, Clone)]
 enum OpKind {
     And,
@@ -342,7 +719,7 @@ impl Engine {
         };
         let root = b.visit(expr);
         debug_assert_eq!(b.next_node as usize, num_nodes);
-        Engine {
+        let engine = Engine {
             expr: expr.clone(),
             words,
             root,
@@ -376,12 +753,78 @@ impl Engine {
             prev: vec![0; words],
             flag_level: vec![0; b.next_ctx as usize],
             tracker: StreamTracker::new(),
+        };
+        // Static self-verification: the flat program must be structurally
+        // well-formed before the unchecked hot loop ever runs it. The full
+        // diagnostic pass (including cross-artifact table checks) lives in
+        // `rfjson-verify`; this debug-only gate catches compiler bugs at
+        // the point of creation.
+        #[cfg(debug_assertions)]
+        {
+            let faults = engine.program_view().check();
+            debug_assert!(
+                faults.is_empty(),
+                "Engine::compile produced an ill-formed program for `{expr}`: {faults:?}"
+            );
         }
+        engine
     }
 
     /// The source expression.
     pub fn expr(&self) -> &Expr {
         &self.expr
+    }
+
+    /// Snapshots the flat node program for static verification — see
+    /// [`ProgramView`].
+    pub fn program_view(&self) -> ProgramView {
+        let unit_views = |offs: &[u32], starts: &[u16], nodes: &[u32]| -> Vec<DfaUnitView> {
+            offs.iter()
+                .zip(starts)
+                .zip(nodes)
+                .map(|((&table_off, &start), &node)| DfaUnitView {
+                    table_off,
+                    start,
+                    node,
+                })
+                .collect()
+        };
+        ProgramView {
+            num_nodes: self.root + 1,
+            words: self.words,
+            root: self.root,
+            ops: self
+                .ops
+                .iter()
+                .map(|op| OpView {
+                    node: op.node,
+                    mask_off: op.mask_off,
+                    kind: match &op.kind {
+                        OpKind::And => OpKindView::And,
+                        OpKind::Or => OpKindView::Or,
+                        OpKind::Ctx {
+                            clear_off,
+                            ctx_id,
+                            ctx_lo,
+                            member,
+                        } => OpKindView::Ctx {
+                            clear_off: *clear_off,
+                            ctx_id: *ctx_id,
+                            ctx_lo: *ctx_lo,
+                            member: *member,
+                        },
+                    },
+                })
+                .collect(),
+            masks: self.masks.clone(),
+            num_ctxs: self.flag_level.len() as u32,
+            tables: self.tables.clone(),
+            string_dfas: unit_views(&self.sdfa_off, &self.sdfa_start, &self.sdfa_node),
+            number_dfas: unit_views(&self.num_off, &self.num_start, &self.num_node),
+            sub1_nodes: self.sub1_node.clone(),
+            subp_nodes: self.subp_node.clone(),
+            wide_nodes: self.wide_subs.iter().map(|w| w.node).collect(),
+        }
     }
 
     /// Number of nodes in the flat program (primitives + combinators).
@@ -739,6 +1182,34 @@ mod tests {
     // The broad differential zoo (every technique × adversarial records ×
     // generated corpora × proptests) lives in tests/engine_diff.rs; the
     // tests here cover engine-internal specifics only.
+
+    #[test]
+    fn program_view_is_well_formed_and_catches_mutations() {
+        let e = Engine::compile(&ctx_temp());
+        let view = e.program_view();
+        assert!(view.check().is_empty(), "{:?}", view.check());
+        assert_eq!(view.num_nodes, 3);
+        assert_eq!(view.primitive_nodes(), vec![0, 1]);
+
+        // Dropping a latch from the context's clear mask must be caught.
+        let mut dropped = view.clone();
+        let OpKindView::Ctx { clear_off, .. } = dropped.ops[0].kind else {
+            panic!("root op is the context");
+        };
+        dropped.masks[clear_off as usize] &= !1u64;
+        assert!(dropped
+            .check()
+            .iter()
+            .any(|f| matches!(f, ProgramFault::LatchClearMismatch { .. })));
+
+        // A root that is not the final node must be caught.
+        let mut bad_root = view.clone();
+        bad_root.root = 7;
+        assert!(bad_root
+            .check()
+            .iter()
+            .any(|f| matches!(f, ProgramFault::BadRoot { .. })));
+    }
 
     #[test]
     fn node_and_table_accounting() {

@@ -132,6 +132,8 @@ mod tests {
     use rfjson_riotbench::{smartcity, taxi};
 
     #[test]
+    // Exact 0.0 is the claim under test: zero false-positive events.
+    #[allow(clippy::float_cmp)]
     fn exact_matchers_have_zero_positional_fpr() {
         let ds = taxi::generate(1, 100);
         for needle in [&b"tolls_amount"[..], b"trip_distance"] {
@@ -143,6 +145,8 @@ mod tests {
     }
 
     #[test]
+    // Exact 0.0 is the claim under test: zero false-positive events.
+    #[allow(clippy::float_cmp)]
     fn tolls_amount_b1_full_positional_fpr() {
         // Table II: s1("tolls_amount") = 1.000 — every record contains
         // "total_amount".

@@ -176,7 +176,7 @@ impl EvalNode {
     }
 
     /// Latched satisfaction after this cycle.
-    fn on_byte(&mut self, info: &ByteInfo) -> bool {
+    fn on_byte(&mut self, info: ByteInfo) -> bool {
         match self {
             EvalNode::Prim { prim, fired } => {
                 *fired |= prim.on_byte(info.byte);
@@ -351,7 +351,7 @@ impl CompiledFilter {
     #[inline]
     pub fn on_byte(&mut self, byte: u8) -> bool {
         let info = self.tracker.on_byte(byte);
-        self.root.on_byte(&info)
+        self.root.on_byte(info)
     }
 
     /// Record-boundary reset.

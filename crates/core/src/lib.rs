@@ -82,7 +82,7 @@ pub mod query;
 
 pub use backend::FilterBackend;
 pub use cosim::CosimBackend;
-pub use engine::Engine;
+pub use engine::{Engine, ProgramView};
 pub use evaluator::CompiledFilter;
 pub use expr::{Expr, StructScope};
 

@@ -115,7 +115,7 @@ mod tests {
         // 'e' is a number byte; "far"/"per" contain no digits though, and
         // keys like "temperature" form letter runs with embedded 'e' —
         // the DFA must reject all of them.
-        let mut v = NumberMatcher::new(NumberBounds::int_range(0, 9999999));
+        let mut v = NumberMatcher::new(NumberBounds::int_range(0, 9_999_999));
         assert!(!v.fired_in_record(br#"{"n":"temperature"}"#));
         assert!(!v.fired_in_record(br#"{"u":"per"}"#));
     }

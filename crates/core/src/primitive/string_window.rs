@@ -100,9 +100,7 @@ mod tests {
                 assert_eq!(
                     w.fire_positions(record),
                     d.fire_positions(record),
-                    "needle {:?} record {:?}",
-                    needle,
-                    record
+                    "needle {needle:?} record {record:?}"
                 );
             }
         }

@@ -116,7 +116,7 @@ mod tests {
         let mask = StringMask::mask_of(br#""a\"b""#);
         assert_eq!(mask, vec![true; 6]);
         let mut m = StringMask::new();
-        for &b in br#""a\"b""#.iter() {
+        for &b in br#""a\"b""# {
             m.on_byte(b);
         }
         assert!(!m.in_string(), "string closed at the real quote");
@@ -129,7 +129,7 @@ mod tests {
         let mask = StringMask::mask_of(input);
         assert_eq!(mask, vec![true; 5]);
         let mut m = StringMask::new();
-        for &b in input.iter() {
+        for &b in input {
             m.on_byte(b);
         }
         assert!(!m.in_string());
@@ -188,10 +188,10 @@ mod tests {
             (br#""\\\\""#, true),    // "\\\\" -> closed
         ] {
             let mut m = StringMask::new();
-            for &b in s.iter() {
+            for &b in s {
                 m.on_byte(b);
             }
-            assert_eq!(!m.in_string(), closed, "input {:?}", s);
+            assert_eq!(!m.in_string(), closed, "input {s:?}");
         }
     }
 }

@@ -133,7 +133,7 @@ mod tests {
         assert_eq!(d[6], 3, "{{ of the first measurement");
         assert_eq!(*d.last().unwrap(), 1, "outer }}");
         let mut t = NestingTracker::new();
-        for &b in input.iter() {
+        for &b in input {
             t.on_byte(b);
         }
         assert_eq!(t.depth(), 0, "balanced record returns to 0");
@@ -143,7 +143,7 @@ mod tests {
     fn brackets_in_strings_do_not_count() {
         let input = br#"{"k":"}}]]"}"#;
         let mut t = NestingTracker::new();
-        for &b in input.iter() {
+        for &b in input {
             t.on_byte(b);
         }
         assert_eq!(t.depth(), 0);

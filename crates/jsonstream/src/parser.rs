@@ -61,7 +61,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> ParseJsonError {
         ParseJsonError {
             position: self.pos,
@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(e.len(), 2);
         assert_eq!(e[0].get("n").and_then(Value::as_str), Some("temperature"));
         assert_eq!(e[0].get("v").and_then(Value::as_numeric), Some(35.2));
-        assert_eq!(v.get("bt").and_then(Value::as_f64), Some(1422748800000.0));
+        assert_eq!(
+            v.get("bt").and_then(Value::as_f64),
+            Some(1_422_748_800_000.0)
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! `Value` round-trip tests).
 
 use crate::value::Value;
+use std::fmt::Write;
 
 /// Serialises `value` as compact JSON (no insignificant whitespace).
 ///
@@ -59,10 +60,13 @@ fn write_number(n: f64, out: &mut String) {
         out.push_str("null"); // JSON has no NaN/Inf; degrade gracefully
         return;
     }
-    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
-        out.push_str(&format!("{}", n as i64));
+    // Exact trunc comparison is deliberate: "is this f64 an integer".
+    #[allow(clippy::float_cmp)]
+    let integral = n == n.trunc() && n.abs() < 9.007_199_254_740_992e15;
+    if integral {
+        let _ = write!(out, "{}", n as i64);
     } else {
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -79,7 +83,7 @@ pub fn write_string(s: &str, out: &mut String) {
             '\u{0008}' => out.push_str("\\b"),
             '\u{000C}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
@@ -96,10 +100,10 @@ mod tests {
     fn round_trip_structures() {
         for src in [
             r#"{"a":[1,2,{"b":"x"}],"c":null,"d":true}"#,
-            r#"[]"#,
-            r#"{}"#,
+            r"[]",
+            r"{}",
             r#"{"v":"35.2","u":"far","n":"temperature"}"#,
-            r#"[0.5,-3,1e30]"#,
+            r"[0.5,-3,1e30]",
         ] {
             let v = parse(src.as_bytes()).unwrap();
             let s = to_string(&v);
@@ -118,7 +122,10 @@ mod tests {
 
     #[test]
     fn integral_numbers_have_no_fraction() {
-        assert_eq!(to_string(&Value::Number(1422748800000.0)), "1422748800000");
+        assert_eq!(
+            to_string(&Value::Number(1_422_748_800_000.0)),
+            "1422748800000"
+        );
         assert_eq!(to_string(&Value::Number(0.5)), "0.5");
         assert_eq!(to_string(&Value::Number(-7.0)), "-7");
     }

@@ -200,8 +200,7 @@ impl Dfa {
     pub fn dense_table(&self) -> Vec<u16> {
         assert!(
             self.num_states() < DENSE_ACCEPT_BIT as usize,
-            "dense table limited to {} states",
-            DENSE_ACCEPT_BIT
+            "dense table limited to {DENSE_ACCEPT_BIT} states"
         );
         let mut table = Vec::with_capacity(self.num_states() * 256);
         for s in 0..self.num_states() as u16 {

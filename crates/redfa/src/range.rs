@@ -427,7 +427,7 @@ fn le_regex_inner(bound: &Decimal, allow_fraction: bool) -> Regex {
 
     // Digit strictly smaller at integer position `pos`.
     for pos in 0..p {
-        let lo = if pos == 0 && p > 1 { 1 } else { 0 };
+        let lo = u8::from(pos == 0 && p > 1);
         if i[pos] == 0 || lo > i[pos] - 1 {
             continue;
         }
@@ -689,7 +689,7 @@ fn round_decimal(d: &Decimal, digits: usize, up: bool) -> Decimal {
     // Collect the digit string (int ++ frac) and locate the cut.
     let negative = d.is_negative();
     let abs = d.abs();
-    let int_len = abs.to_string().split('.').next().map(str::len).unwrap_or(1);
+    let int_len = abs.to_string().split('.').next().map_or(1, str::len);
     let all: Vec<u8> = abs
         .to_string()
         .bytes()
@@ -787,6 +787,9 @@ mod tests {
     }
 
     #[test]
+    // Exact equality is intentional: these decimals are dyadic and
+    // convert to f64 without rounding.
+    #[allow(clippy::float_cmp)]
     fn decimal_to_f64() {
         assert_eq!(dec("35.25").to_f64(), 35.25);
         assert_eq!(dec("-0.5").to_f64(), -0.5);

@@ -554,7 +554,7 @@ mod tests {
             (b"9", false),
             (b"04", false),
         ] {
-            assert_eq!(accepts(p, input), want, "input {:?}", input);
+            assert_eq!(accepts(p, input), want, "input {input:?}");
         }
     }
 

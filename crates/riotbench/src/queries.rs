@@ -167,6 +167,21 @@ impl Query {
         }
     }
 
+    /// Every built-in Table VIII query, in paper order — the query set the
+    /// static verifier (`rfjson-verify`) and the benchmark harnesses
+    /// enumerate.
+    pub fn all() -> Vec<Query> {
+        vec![Query::qs0(), Query::qs1(), Query::qt()]
+    }
+
+    /// Looks up a built-in query by its short name (case-insensitive),
+    /// e.g. `"QS0"`.
+    pub fn by_name(name: &str) -> Option<Query> {
+        Query::all()
+            .into_iter()
+            .find(|q| q.name.eq_ignore_ascii_case(name))
+    }
+
     /// Taxi query of Table VIII (paper selectivity 5.7 %).
     pub fn qt() -> Query {
         Query {
@@ -277,6 +292,15 @@ mod tests {
         assert!((Query::qs0().paper_selectivity - 0.639).abs() < 1e-9);
         let d = Query::qt().to_string();
         assert!(d.contains("tolls_amount") && d.contains("2.50"));
+    }
+
+    #[test]
+    fn enumeration_and_lookup() {
+        let names: Vec<String> = Query::all().into_iter().map(|q| q.name).collect();
+        assert_eq!(names, vec!["QS0", "QS1", "QT"]);
+        assert_eq!(Query::by_name("qs1").unwrap().name, "QS1");
+        assert_eq!(Query::by_name("QT").unwrap().shape, RecordShape::Flat);
+        assert!(Query::by_name("nope").is_none());
     }
 
     #[test]

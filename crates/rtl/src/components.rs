@@ -113,7 +113,7 @@ impl ByteSet {
     #[must_use]
     pub fn complement(&self) -> ByteSet {
         let mut w = self.words;
-        for a in w.iter_mut() {
+        for a in &mut w {
             *a = !*a;
         }
         ByteSet { words: w }

@@ -429,6 +429,75 @@ impl Netlist {
         Ok(())
     }
 
+    /// Number of uses of every node: combinational fan-in edges, flip-flop
+    /// data inputs, and declared outputs all count as one use of their
+    /// operand. Index by [`NodeId::index`].
+    ///
+    /// A gate with zero fanout is dead logic; a primary input with zero
+    /// fanout is a dangling port. `rfjson-verify` builds its
+    /// dangling/dead-net diagnostics and fanout statistics on this.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for f in node.comb_fanin() {
+                counts[f.index()] += 1;
+            }
+            if let Node::Dff { d: Some(d), .. } = node {
+                counts[d.index()] += 1;
+            }
+        }
+        for (_, id) in &self.outputs {
+            counts[id.index()] += 1;
+        }
+        counts
+    }
+
+    /// Topological order of all nodes over *combinational* edges
+    /// (flip-flop data inputs are sequential and break the path, exactly
+    /// as in [`Node::comb_fanin`]).
+    ///
+    /// The builder API only lets gates reference already-created nodes, so
+    /// netlists built through it are always acyclic — but the verifier
+    /// re-proves that instead of assuming it, and any future in-place
+    /// rewrite API gets the check for free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the nodes caught on a combinational cycle (in id order)
+    /// when the gate graph is not a DAG.
+    pub fn comb_topo_order(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        // users[v] = nodes whose combinational fan-in contains v.
+        let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let fanin = node.comb_fanin();
+            indegree[i] = fanin.len();
+            for f in fanin {
+                users[f.index()].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(NodeId(i as u32));
+            for &u in &users[i] {
+                indegree[u] -= 1;
+                if indegree[u] == 0 {
+                    ready.push(u);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err((0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| NodeId(i as u32))
+                .collect())
+        }
+    }
+
     /// Renders a human-readable structural dump (used by the Fig. 1
     /// regeneration binary).
     pub fn dump(&self) -> String {
@@ -585,6 +654,54 @@ mod tests {
         assert_eq!(n.find_input("byte[0]"), Some(w[0]));
         assert_eq!(n.find_input("byte[7]"), Some(w[7]));
         assert_eq!(n.find_input("byte[8]"), None);
+    }
+
+    #[test]
+    fn fanout_counts_all_edge_kinds() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let g = n.and_gate(a, b); // a, b each used once
+        let q = n.dff(g, false); // g used by dff data edge
+        let ng = n.not(g); // g used combinationally too
+        n.output("q", q); // q used by output
+        n.output("ng", ng);
+        let counts = n.fanout_counts();
+        assert_eq!(counts[a.index()], 1);
+        assert_eq!(counts[b.index()], 1);
+        assert_eq!(counts[g.index()], 2, "dff d + not");
+        assert_eq!(counts[q.index()], 1);
+        assert_eq!(counts[ng.index()], 1);
+    }
+
+    #[test]
+    fn topo_order_respects_comb_edges() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let g1 = n.and_gate(a, b);
+        let g2 = n.or_gate(g1, a);
+        let ff = n.dff(g2, false);
+        let g3 = n.xor_gate(ff, b);
+        n.output("y", g3);
+        let order = n.comb_topo_order().expect("builder netlists are acyclic");
+        assert_eq!(order.len(), n.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n.len()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        // Every combinational operand settles before its user.
+        for (id, node) in n.nodes() {
+            for f in node.comb_fanin() {
+                assert!(pos[f.index()] < pos[id.index()], "{f} before {id}");
+            }
+        }
+        // The dff's data edge is sequential: no ordering constraint
+        // between g2 and the ff is required, only that both appear.
+        assert!(order.contains(&ff) && order.contains(&g2));
     }
 
     #[test]

@@ -189,7 +189,9 @@ proptest! {
         let mut pool = inputs;
         let mut x = seed | 1;
         for g in 0..12 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             let a = pool[(x >> 8) as usize % pool.len()];
             let b = pool[(x >> 24) as usize % pool.len()];
             let node = match (x >> 40) % 3 {

@@ -136,9 +136,7 @@ impl<B: FilterBackend + Send> ShardedRunner<B> {
             .config
             .shards
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             })
             .max(1);
         let cap = (stream_len / self.config.min_shard_bytes.max(1)).max(1);
@@ -309,6 +307,70 @@ mod tests {
                 serial
             );
         }
+    }
+
+    #[test]
+    fn blank_lines_only_buffer() {
+        // Nothing but separators: zero records, so zero decisions — and
+        // the shard planner must not produce empty or overlapping cuts.
+        let stream: &[u8] = b"\n\n\r\n\n\r\n\n\n\n\r\n\n";
+        for shards in [1, 2, 3, 16] {
+            let ranges = shard_ranges(stream, shards);
+            assert!(!ranges.is_empty(), "non-empty buffer always has a range");
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, stream.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous: {ranges:?}");
+                assert!(!pair[0].is_empty(), "no empty shard: {ranges:?}");
+            }
+            assert!(
+                filter_stream_sharded::<Engine>(&Expr::int_range(1, 5), stream, shards).is_empty(),
+                "blank lines produce no decisions"
+            );
+        }
+    }
+
+    #[test]
+    fn single_record_larger_than_min_shard_bytes() {
+        // One separator-free record far bigger than min_shard_bytes:
+        // the planner is allowed multiple shards by the size cap, but
+        // there is no cut point — the record must stay whole in one
+        // shard and produce exactly one decision.
+        let record = format!("{{\"a\":3,\"pad\":\"{}\"}}", "x".repeat(4096));
+        let stream = record.as_bytes();
+        let ranges = shard_ranges(stream, 8);
+        assert_eq!(ranges, vec![0..stream.len()], "no separator, no cut");
+        let mut runner: ShardedRunner<Engine> = ShardedRunner::with_config(
+            &Expr::int_range(1, 5),
+            RunnerConfig {
+                shards: Some(8),
+                min_shard_bytes: 64,
+            },
+        );
+        assert!(
+            runner.shards_for(stream.len()) > 1,
+            "cap alone allows fanout"
+        );
+        assert_eq!(runner.plan(stream).len(), 1, "but the plan cannot cut");
+        assert_eq!(runner.filter_stream(stream), vec![true]);
+    }
+
+    #[test]
+    fn crlf_only_buffer() {
+        // Pure "\r\n" repetitions: every line is blank, the CRs are
+        // debris. No decisions, and cuts (if any) land after the LFs.
+        let stream = b"\r\n".repeat(7);
+        for shards in [1, 2, 5] {
+            let ranges = shard_ranges(&stream, shards);
+            assert_eq!(ranges.last().unwrap().end, stream.len());
+            for r in &ranges {
+                assert!(r.is_empty() || stream[r.end - 1] == b'\n', "{ranges:?}");
+            }
+            assert!(
+                filter_stream_sharded::<Engine>(&Expr::int_range(1, 5), &stream, shards).is_empty()
+            );
+        }
+        assert_sharded_equals_serial(&Expr::int_range(1, 5), &stream);
     }
 
     #[test]

@@ -308,7 +308,7 @@ mod tests {
         assert!(!l.not().is_inverted());
         assert!(Lit::FALSE.is_const() && Lit::TRUE.is_const());
         assert_eq!(Lit::FALSE.not(), Lit::TRUE);
-        assert_eq!(format!("{:?}", l), "!v5");
+        assert_eq!(format!("{l:?}"), "!v5");
     }
 
     #[test]

@@ -237,7 +237,7 @@ mod tests {
     fn assert_equivalent(aig: &Aig, net: &LutNetwork, samples: u64) {
         // Deterministic pseudo-random assignments (xorshift).
         let n = aig.num_inputs();
-        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut x = 0x2545_F491_4F6C_DD1D_u64;
         for _ in 0..samples {
             x ^= x << 13;
             x ^= x >> 7;
@@ -352,11 +352,11 @@ mod tests {
         let mut n = Netlist::new("rand");
         let inputs: Vec<_> = (0..5).map(|i| n.input(format!("i{i}"))).collect();
         let mut pool = inputs.clone();
-        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut x = 0x9E37_79B9_7F4A_7C15_u64;
         for g in 0..30 {
             x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             let a = pool[(x >> 11) as usize % pool.len()];
             let b = pool[(x >> 37) as usize % pool.len()];
             let node = match (x >> 5) % 4 {

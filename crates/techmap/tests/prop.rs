@@ -100,7 +100,9 @@ proptest! {
         let mut pool = word.clone();
         let mut x = seed | 1;
         for g in 0..25 {
-            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            x = x
+                .wrapping_mul(2_862_933_555_777_941_757)
+                .wrapping_add(3_037_000_493);
             let a = pool[(x >> 7) as usize % pool.len()];
             let b = pool[(x >> 23) as usize % pool.len()];
             let node = match (x >> 41) % 4 {

@@ -1,0 +1,100 @@
+//! Lints the built-in RiotBench queries through all three static
+//! verification passes.
+//!
+//! ```text
+//! verify [--verbose] [--b LIST] [QUERY...]
+//! ```
+//!
+//! * `QUERY…` — query names (`QS0`, `QS1`, `QT`); default: all of them.
+//! * `--b LIST` — comma-separated substring block lengths to lint each
+//!   query at (default `1,2`, the configurations the paper evaluates).
+//! * `--verbose` — also print info-severity diagnostics (automaton sink
+//!   structure, netlist statistics).
+//!
+//! Exits with status 1 if any error-severity diagnostic is reported, or
+//! 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+use rfjson_riotbench::Query;
+use rfjson_verify::{verify_query, Severity};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: verify [--verbose] [--b LIST] [QUERY...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    let mut blocks: Vec<usize> = vec![1, 2];
+    let mut queries: Vec<Query> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--b" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                match parsed {
+                    Ok(bs) if !bs.is_empty() => blocks = bs,
+                    _ => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            name => match Query::by_name(name) {
+                Some(q) => queries.push(q),
+                None => {
+                    eprintln!("unknown query {name:?} (built-ins: QS0, QS1, QT)");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    if queries.is_empty() {
+        queries = Query::all();
+    }
+
+    let min_shown = if verbose {
+        Severity::Info
+    } else {
+        Severity::Warning
+    };
+    let mut failed = false;
+    for query in &queries {
+        for &b in &blocks {
+            match verify_query(query, b) {
+                Ok(report) => {
+                    let verdict = if report.has_errors() {
+                        failed = true;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!("{:4} {}", verdict, report.summary());
+                    for d in report.at_least(min_shown) {
+                        println!("       {d}");
+                    }
+                }
+                Err(e) => {
+                    // A block length inapplicable to this query (e.g. a
+                    // needle shorter than B) is a skip, not a failure.
+                    println!("skip {} (b={b}): {e}", query.name);
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,344 @@
+//! DFA verification pass (codes `D0xx`).
+//!
+//! Operates on the class-compressed [`Dfa`] a primitive compiles to, and
+//! on the dense 256-way table the batch engine actually executes from.
+//! The two representations are produced independently enough (class
+//! indirection vs. flattening, accept bit folded into the state word)
+//! that disagreement between them is a real failure mode — the engine
+//! would silently diverge from the reference evaluator.
+//!
+//! ## Diagnostic catalogue
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | D001 | error    | start state out of range |
+//! | D002 | error    | transition target out of range |
+//! | D003 | warning  | state unreachable from start |
+//! | D004 | warning  | dead state that is not a plain reject sink (non-minimal) |
+//! | D005 | info     | reject sink present (expected for bounded-range automata) |
+//! | D006 | info     | accept sink present (once-matched-always-matched latch) |
+//! | D007 | warning  | empty language: no reachable accepting state |
+//! | D010 | error    | dense table length is not `num_states * 256` |
+//! | D011 | error    | dense successor disagrees with sparse `step` |
+//! | D012 | error    | dense accept bit disagrees with `is_accept` |
+//! | D013 | error    | dense start word disagrees with sparse start |
+
+use crate::{Diagnostic, Layer};
+use rfjson_redfa::{Dfa, DENSE_ACCEPT_BIT};
+
+/// How many individual mismatch diagnostics to emit per dense table
+/// before collapsing the remainder into one summary diagnostic.
+const MISMATCH_CAP: usize = 5;
+
+/// Forward reachability from the start state over class transitions.
+fn reachable(dfa: &Dfa) -> Vec<bool> {
+    let n = dfa.num_states();
+    let mut seen = vec![false; n];
+    let start = dfa.start() as usize;
+    if start >= n {
+        return seen;
+    }
+    let mut stack = vec![dfa.start()];
+    seen[start] = true;
+    while let Some(s) = stack.pop() {
+        for c in 0..dfa.num_classes() {
+            let t = dfa.step_class(s, c as u8);
+            if (t as usize) < n && !seen[t as usize] {
+                seen[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// States from which some accepting state is reachable (reverse BFS).
+fn can_accept(dfa: &Dfa) -> Vec<bool> {
+    let n = dfa.num_states();
+    // Reverse adjacency over class transitions.
+    let mut preds: Vec<Vec<u16>> = vec![Vec::new(); n];
+    for s in 0..n as u16 {
+        for c in 0..dfa.num_classes() {
+            let t = dfa.step_class(s, c as u8) as usize;
+            if t < n {
+                preds[t].push(s);
+            }
+        }
+    }
+    let mut live = vec![false; n];
+    let mut stack: Vec<u16> = (0..n as u16).filter(|&s| dfa.is_accept(s)).collect();
+    for &s in &stack {
+        live[s as usize] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &preds[s as usize] {
+            if !live[p as usize] {
+                live[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    live
+}
+
+/// Is `s` a sink (every transition loops back to `s`)?
+fn is_sink(dfa: &Dfa, s: u16) -> bool {
+    (0..dfa.num_classes()).all(|c| dfa.step_class(s, c as u8) == s)
+}
+
+/// Verifies the sparse (class-compressed) automaton: in-range
+/// transitions, reachability, dead states and sink structure.
+pub fn verify_dfa(dfa: &Dfa, location: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = dfa.num_states();
+
+    if dfa.start() as usize >= n {
+        out.push(Diagnostic::error(
+            Layer::Dfa,
+            "D001",
+            location,
+            format!("start state {} out of range (num_states {n})", dfa.start()),
+        ));
+        return out; // Everything downstream assumes a valid start.
+    }
+    for s in 0..n as u16 {
+        for c in 0..dfa.num_classes() {
+            let t = dfa.step_class(s, c as u8);
+            if t as usize >= n {
+                out.push(Diagnostic::error(
+                    Layer::Dfa,
+                    "D002",
+                    location,
+                    format!("state {s} class {c}: target {t} out of range (num_states {n})"),
+                ));
+            }
+        }
+    }
+    if !out.is_empty() {
+        return out; // Reachability on a broken graph is meaningless.
+    }
+
+    let seen = reachable(dfa);
+    for (s, ok) in seen.iter().enumerate() {
+        if !ok {
+            out.push(Diagnostic::warning(
+                Layer::Dfa,
+                "D003",
+                location,
+                format!("state {s} unreachable from start"),
+            ));
+        }
+    }
+
+    let live = can_accept(dfa);
+    let mut any_accept_reachable = false;
+    for s in 0..n as u16 {
+        if !seen[s as usize] {
+            continue;
+        }
+        if dfa.is_accept(s) {
+            any_accept_reachable = true;
+            if is_sink(dfa, s) {
+                out.push(Diagnostic::info(
+                    Layer::Dfa,
+                    "D006",
+                    location,
+                    format!("state {s} is an accept sink (match latches)"),
+                ));
+            }
+        } else if !live[s as usize] {
+            if is_sink(dfa, s) {
+                out.push(Diagnostic::info(
+                    Layer::Dfa,
+                    "D005",
+                    location,
+                    format!("state {s} is a reject sink"),
+                ));
+            } else {
+                out.push(Diagnostic::warning(
+                    Layer::Dfa,
+                    "D004",
+                    location,
+                    format!("state {s} is dead but not a sink (automaton not minimal)"),
+                ));
+            }
+        }
+    }
+    if !any_accept_reachable {
+        out.push(Diagnostic::warning(
+            Layer::Dfa,
+            "D007",
+            location,
+            "no reachable accepting state: the primitive can never fire".to_string(),
+        ));
+    }
+    out
+}
+
+/// Verifies a dense execution table against the sparse automaton it was
+/// flattened from: length, every successor, every accept bit, and the
+/// encoded start word.
+pub fn verify_dense_table(dfa: &Dfa, table: &[u16], start: u16, location: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = dfa.num_states();
+    let expected_len = n * 256;
+    if table.len() != expected_len {
+        out.push(Diagnostic::error(
+            Layer::Dfa,
+            "D010",
+            location,
+            format!(
+                "dense table has {} entries, {n} states need {expected_len}",
+                table.len()
+            ),
+        ));
+        return out;
+    }
+
+    let mut mismatches = 0usize;
+    for s in 0..n as u16 {
+        for b in 0..=255u8 {
+            let word = table[s as usize * 256 + b as usize];
+            let dense_next = word & !DENSE_ACCEPT_BIT;
+            let dense_accept = word & DENSE_ACCEPT_BIT != 0;
+            let sparse_next = dfa.step(s, b);
+            if dense_next != sparse_next {
+                mismatches += 1;
+                if mismatches <= MISMATCH_CAP {
+                    out.push(Diagnostic::error(
+                        Layer::Dfa,
+                        "D011",
+                        location,
+                        format!(
+                            "state {s} byte 0x{b:02x}: dense successor {dense_next}, \
+                             sparse step gives {sparse_next}"
+                        ),
+                    ));
+                }
+            } else if dense_accept != dfa.is_accept(dense_next) {
+                mismatches += 1;
+                if mismatches <= MISMATCH_CAP {
+                    out.push(Diagnostic::error(
+                        Layer::Dfa,
+                        "D012",
+                        location,
+                        format!(
+                            "state {s} byte 0x{b:02x}: accept bit {dense_accept} but \
+                             successor {dense_next} is_accept={}",
+                            dfa.is_accept(dense_next)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if mismatches > MISMATCH_CAP {
+        out.push(Diagnostic::error(
+            Layer::Dfa,
+            "D011",
+            location,
+            format!(
+                "… and {} more dense/sparse mismatches",
+                mismatches - MISMATCH_CAP
+            ),
+        ));
+    }
+
+    let start_state = start & !DENSE_ACCEPT_BIT;
+    let start_accept = start & DENSE_ACCEPT_BIT != 0;
+    if start_state != dfa.start() || start_accept != dfa.is_accept(dfa.start()) {
+        out.push(Diagnostic::error(
+            Layer::Dfa,
+            "D013",
+            location,
+            format!(
+                "dense start word 0x{start:04x} disagrees with sparse start {} \
+                 (accept {})",
+                dfa.start(),
+                dfa.is_accept(dfa.start())
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use rfjson_core::primitive::DfaStringMatcher;
+    use rfjson_redfa::NumberBounds;
+
+    #[test]
+    fn string_dfa_is_clean() {
+        let m = DfaStringMatcher::new(b"dust");
+        // `.*dust` is minimal and complete: every state reachable, every
+        // state can still reach accept (latching happens in the engine
+        // unit, not the automaton), so the pass is silent.
+        let diags = verify_dfa(m.dfa(), "dfa(\"dust\")");
+        assert!(diags.is_empty(), "{diags:?}");
+        let dense = verify_dense_table(
+            m.dfa(),
+            &m.dfa().dense_table(),
+            m.dfa().dense_start(),
+            "dfa(\"dust\")",
+        );
+        assert!(dense.is_empty(), "{dense:?}");
+    }
+
+    #[test]
+    fn number_dfa_has_accept_sink() {
+        // The range automaton latches once the token is provably in
+        // range: an accept sink, reported as info.
+        let d = NumberBounds::int_range(12, 49).to_dfa();
+        let diags = verify_dfa(&d, "v(12 ≤ i ≤ 49)");
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Warning),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.code == "D006"), "{diags:?}");
+    }
+
+    #[test]
+    fn redirected_edge_is_flagged() {
+        let m = DfaStringMatcher::new(b"dust");
+        let dfa = m.dfa();
+        let mut table = dfa.dense_table();
+        // Redirect one transition to a different (valid, correctly
+        // accept-flagged) state: only D011 can catch this.
+        let idx = 256 + usize::from(b'x');
+        let old = table[idx] & !DENSE_ACCEPT_BIT;
+        let new = (old + 1) % dfa.num_states() as u16;
+        let flag = if dfa.is_accept(new) {
+            DENSE_ACCEPT_BIT
+        } else {
+            0
+        };
+        table[idx] = new | flag;
+        let diags = verify_dense_table(dfa, &table, dfa.dense_start(), "mutated");
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "D011" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn flipped_accept_bit_is_flagged() {
+        let m = DfaStringMatcher::new(b"ab");
+        let dfa = m.dfa();
+        let mut table = dfa.dense_table();
+        table[usize::from(b'a')] ^= DENSE_ACCEPT_BIT;
+        let diags = verify_dense_table(dfa, &table, dfa.dense_start(), "mutated");
+        assert!(diags.iter().any(|d| d.code == "D012"));
+    }
+
+    #[test]
+    fn truncated_table_and_bad_start() {
+        let m = DfaStringMatcher::new(b"ab");
+        let dfa = m.dfa();
+        let table = dfa.dense_table();
+        let diags = verify_dense_table(dfa, &table[..table.len() - 1], dfa.dense_start(), "t");
+        assert!(diags.iter().any(|d| d.code == "D010"));
+        let diags = verify_dense_table(dfa, &table, dfa.dense_start() ^ 1, "t");
+        assert!(diags.iter().any(|d| d.code == "D013"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Netlist verification pass (codes `N0xx`).
+//!
+//! Operates on the elaborated gate-level [`Netlist`] — the artifact that
+//! would be synthesised onto the FPGA. Checks here are circuit-shaped:
+//! no combinational cycles (proved by topological sort over the
+//! combinational edges, flip-flop data edges excluded), every flip-flop
+//! connected, no output net driven twice, nothing dangling. A summary
+//! diagnostic carries the gate/FF/depth/fanout statistics the paper's
+//! resource tables are built from.
+//!
+//! ## Diagnostic catalogue
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | N001 | error    | combinational cycle |
+//! | N002 | error    | flip-flop data input unconnected |
+//! | N003 | error    | output net driven more than once |
+//! | N004 | error    | node operand out of range |
+//! | N005 | warning  | primary input drives nothing |
+//! | N006 | warning  | gate or flip-flop drives nothing (dead logic) |
+//! | N007 | info     | netlist statistics summary |
+
+use crate::{Diagnostic, Layer};
+use rfjson_rtl::netlist::Node;
+use rfjson_rtl::stats::NetlistStats;
+use rfjson_rtl::Netlist;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How many members of a combinational cycle to name in the diagnostic.
+const CYCLE_NAME_CAP: usize = 8;
+
+/// Headline numbers of one verified netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetlistSummary {
+    /// Combinational gates (AND/OR/XOR/NOT/MUX).
+    pub gates: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Primary input bits.
+    pub inputs: usize,
+    /// Declared output bits.
+    pub outputs: usize,
+    /// Longest combinational path in gate levels.
+    pub depth: usize,
+    /// Largest fan-out of any node.
+    pub max_fanout: usize,
+}
+
+impl fmt::Display for NetlistSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {} FFs, {} inputs, {} outputs, depth {}, max fanout {}",
+            self.gates, self.dffs, self.inputs, self.outputs, self.depth, self.max_fanout
+        )
+    }
+}
+
+/// Computes the summary statistics of `n`.
+pub fn netlist_summary(n: &Netlist) -> NetlistSummary {
+    let stats = NetlistStats::of(n);
+    NetlistSummary {
+        gates: stats.total_gates(),
+        dffs: stats.dffs,
+        inputs: stats.inputs,
+        outputs: stats.outputs,
+        depth: stats.depth,
+        max_fanout: n.fanout_counts().into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Verifies one netlist: combinational acyclicity, connectivity, driver
+/// uniqueness, and dead-logic hygiene. Ends with the [`NetlistSummary`]
+/// as an info diagnostic.
+pub fn verify_netlist(n: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let len = n.len();
+    let name = n.name().to_string();
+
+    // N004 — every referenced operand must exist. The builder API makes
+    // this unconstructable, but the pass also guards hand-built or
+    // deserialised netlists.
+    for (id, node) in n.nodes() {
+        let mut operands = node.comb_fanin();
+        if let Node::Dff { d: Some(d), .. } = node {
+            operands.push(*d);
+        }
+        for op in operands {
+            if op.index() >= len {
+                out.push(Diagnostic::error(
+                    Layer::Netlist,
+                    "N004",
+                    &format!("{name}/{id}"),
+                    format!("operand {op} out of range ({len} nodes)"),
+                ));
+            }
+        }
+    }
+    for (port, id) in n.inputs().iter().chain(n.outputs()) {
+        if id.index() >= len {
+            out.push(Diagnostic::error(
+                Layer::Netlist,
+                "N004",
+                &format!("{name}/{port}"),
+                format!("port references node {id} out of range ({len} nodes)"),
+            ));
+        }
+    }
+    if out.iter().any(|d| d.code == "N004") {
+        return out; // Graph traversals below assume in-range edges.
+    }
+
+    // N001 — combinational cycles.
+    if let Err(cycle) = n.comb_topo_order() {
+        let mut names: Vec<String> = cycle
+            .iter()
+            .take(CYCLE_NAME_CAP)
+            .map(ToString::to_string)
+            .collect();
+        if cycle.len() > CYCLE_NAME_CAP {
+            names.push(format!("… {} more", cycle.len() - CYCLE_NAME_CAP));
+        }
+        out.push(Diagnostic::error(
+            Layer::Netlist,
+            "N001",
+            &name,
+            format!(
+                "combinational cycle through {} node(s): {}",
+                cycle.len(),
+                names.join(", ")
+            ),
+        ));
+    }
+
+    // N002 — unconnected flip-flops.
+    for (id, node) in n.nodes() {
+        if matches!(node, Node::Dff { d: None, .. }) {
+            out.push(Diagnostic::error(
+                Layer::Netlist,
+                "N002",
+                &format!("{name}/{id}"),
+                "flip-flop data input never connected".to_string(),
+            ));
+        }
+    }
+
+    // N003 — multi-driven output nets (the only multi-driver the flat
+    // representation can express: one port name registered twice).
+    let mut drivers: HashMap<&str, usize> = HashMap::new();
+    for (port, _) in n.outputs() {
+        *drivers.entry(port.as_str()).or_insert(0) += 1;
+    }
+    let mut multi: Vec<(&str, usize)> = drivers.into_iter().filter(|&(_, c)| c > 1).collect();
+    multi.sort_unstable();
+    for (port, count) in multi {
+        out.push(Diagnostic::error(
+            Layer::Netlist,
+            "N003",
+            &format!("{name}/{port}"),
+            format!("output net driven {count} times"),
+        ));
+    }
+
+    // N005/N006 — dead logic. Constants are exempt: folding legitimately
+    // strands them and they cost nothing. Dead gates/FFs are aggregated
+    // into one warning per netlist (synthesis would trim them; the
+    // finding is about elaborator hygiene, not per-gate soundness).
+    let fanout = n.fanout_counts();
+    let mut dead: Vec<String> = Vec::new();
+    for (id, node) in n.nodes() {
+        if fanout[id.index()] > 0 {
+            continue;
+        }
+        match node {
+            Node::Input { name: port } => out.push(Diagnostic::warning(
+                Layer::Netlist,
+                "N005",
+                &format!("{name}/{id}"),
+                format!("primary input \"{port}\" drives nothing"),
+            )),
+            Node::Dff { .. } => dead.push(format!("{id} (FF)")),
+            g if g.is_gate() => dead.push(id.to_string()),
+            _ => {}
+        }
+    }
+    if !dead.is_empty() {
+        let shown = dead
+            .iter()
+            .take(CYCLE_NAME_CAP)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        let more = dead.len().saturating_sub(CYCLE_NAME_CAP);
+        let tail = if more > 0 {
+            format!(", … {more} more")
+        } else {
+            String::new()
+        };
+        out.push(Diagnostic::warning(
+            Layer::Netlist,
+            "N006",
+            &name,
+            format!(
+                "{} node(s) drive nothing (dead logic): {shown}{tail}",
+                dead.len()
+            ),
+        ));
+    }
+
+    out.push(Diagnostic::info(
+        Layer::Netlist,
+        "N007",
+        &name,
+        netlist_summary(n).to_string(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use rfjson_core::elaborate::elaborate_filter;
+    use rfjson_core::Expr;
+
+    #[test]
+    fn elaborated_filter_is_clean() {
+        let expr = Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]);
+        let n = elaborate_filter(&expr, "listing2");
+        let diags = verify_netlist(&n);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Error),
+            "{diags:?}"
+        );
+        let summary = netlist_summary(&n);
+        assert!(summary.gates > 0 && summary.dffs > 0 && summary.max_fanout > 0);
+    }
+
+    #[test]
+    fn double_driven_output_is_flagged() {
+        let mut n = Netlist::new("dd");
+        let a = n.input("a");
+        let b = n.input("b");
+        n.output("y", a);
+        n.output("y", b);
+        let diags = verify_netlist(&n);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "N003" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unconnected_dff_is_flagged() {
+        let mut n = Netlist::new("ff");
+        let _ = n.dff_placeholder(false);
+        let diags = verify_netlist(&n);
+        assert!(diags.iter().any(|d| d.code == "N002"), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_logic_warnings() {
+        let mut n = Netlist::new("dead");
+        let a = n.input("a");
+        let b = n.input("b");
+        let _unused_gate = n.and_gate(a, b);
+        let _unused_input = n.input("c");
+        let diags = verify_netlist(&n);
+        assert!(diags.iter().any(|d| d.code == "N005"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "N006"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.severity == Severity::Error));
+    }
+}

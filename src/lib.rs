@@ -16,6 +16,10 @@
 //!   mapping for resource reports.
 //! * [`riotbench`] ([`rfjson_riotbench`]) — seeded synthetic SmartCity,
 //!   Taxi and Twitter workloads.
+//! * [`runtime`] ([`rfjson_runtime`]) — sharded parallel streaming
+//!   runtime over any filter backend.
+//! * [`verify`] ([`rfjson_verify`]) — static analysis of compiled
+//!   artifacts: DFA, flat-program and netlist verification passes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +29,6 @@ pub use rfjson_jsonstream as jsonstream;
 pub use rfjson_redfa as redfa;
 pub use rfjson_riotbench as riotbench;
 pub use rfjson_rtl as rtl;
+pub use rfjson_runtime as runtime;
 pub use rfjson_techmap as techmap;
+pub use rfjson_verify as verify;

@@ -146,7 +146,7 @@ fn hardware_newline_reset_isolates_records() {
         let mut hw_decisions = Vec::new();
         let mut sw_decisions = Vec::new();
         for record in &records {
-            for &b in record.iter() {
+            for &b in *record {
                 hw.on_byte(b);
                 sw.on_byte(b);
             }
@@ -172,7 +172,7 @@ fn mapped_netlists_equivalent_to_source() {
         let (report, lutnet) = map_aig(&aig, 6);
         assert!(report.luts > 0, "expr `{expr}` mapped to nothing");
         let n = aig.num_inputs();
-        let mut x = 0x243F6A8885A308D3u64 ^ (report.luts as u64);
+        let mut x = 0x243F_6A88_85A3_08D3_u64 ^ (report.luts as u64);
         for _ in 0..64 {
             x ^= x << 13;
             x ^= x >> 7;

@@ -30,8 +30,8 @@ fn malformed_json_never_panics_and_never_matches_vacuously() {
     let mut f = CompiledFilter::compile(&ctx_filter());
     for record in [
         &br#"{"e":[{"v":"21.0","n":"temperature""#[..], // truncated
-        br#"}}}}]]]]"#,                                 // unbalanced closers
-        br#"{{{{"#,                                     // unbalanced openers
+        br"}}}}]]]]",                                   // unbalanced closers
+        br"{{{{",                                       // unbalanced openers
         br#""temperature" 21.0"#,                       // bare tokens
         b"\xff\xfe\x00\x01",                            // binary garbage
     ] {

@@ -1,0 +1,94 @@
+//! Workspace policy: no `unsafe` anywhere. Every crate root — the
+//! top-level facade, all `crates/*` members, and the vendored
+//! stand-ins — must carry `#![forbid(unsafe_code)]`, which makes the
+//! compiler reject any future `unsafe` block in that crate at build
+//! time. This test makes removing the attribute itself a test failure.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const ATTRIBUTE: &str = "#![forbid(unsafe_code)]";
+
+/// All crate roots of the workspace: `src/lib.rs` of the root package
+/// and of every member under `crates/` and `vendor/`.
+fn crate_roots() -> Vec<PathBuf> {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut roots = vec![ws.join("src/lib.rs")];
+    for dir in ["crates", "vendor"] {
+        let entries =
+            fs::read_dir(ws.join(dir)).unwrap_or_else(|e| panic!("cannot list {dir}: {e}"));
+        for entry in entries {
+            let lib = entry.unwrap().path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots
+}
+
+#[test]
+fn every_crate_root_forbids_unsafe() {
+    let roots = crate_roots();
+    // Guard against the scan silently going blind: the workspace has
+    // the root package plus at least 9 member crates and 3 vendored
+    // stand-ins.
+    assert!(
+        roots.len() >= 13,
+        "expected ≥ 13 crate roots, found {}: {roots:?}",
+        roots.len()
+    );
+    let mut missing = Vec::new();
+    for root in &roots {
+        let source = fs::read_to_string(root)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", root.display()));
+        if !source.contains(ATTRIBUTE) {
+            missing.push(root.display().to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crate roots missing `{ATTRIBUTE}`: {missing:?}"
+    );
+}
+
+#[test]
+fn no_unsafe_token_in_workspace_sources() {
+    // Belt and braces: even with the attribute present, scan all
+    // first-party sources for the token. (`forbid` already guarantees
+    // this for code *in* those crates; the scan also covers bins,
+    // examples and integration tests, which are separate crate roots.)
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offending = Vec::new();
+    let mut stack: Vec<PathBuf> = ["src", "crates", "tests", "examples"]
+        .iter()
+        .map(|d| ws.join(d))
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.file_name().is_some_and(|n| n != "no_unsafe.rs")
+            {
+                let source = fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+                // Match the keyword, not this test's own strings.
+                if source.contains("unsafe fn")
+                    || source.contains("unsafe {")
+                    || source.contains("unsafe impl")
+                {
+                    offending.push(path.display().to_string());
+                }
+            }
+        }
+    }
+    assert!(offending.is_empty(), "unsafe code found in: {offending:?}");
+}
