@@ -36,8 +36,62 @@
 //! # Ok::<(), rfjson_core::expr::ExprError>(())
 //! ```
 
-use crate::expr::Expr;
-pub use rfjson_jsonstream::frame::{ChunkFramer, FrameAction};
+use crate::expr::{Expr, ExprError};
+use std::error::Error;
+use std::fmt;
+
+pub use rfjson_jsonstream::frame::{
+    ChunkFramer, FrameAction, IngestLimits, LimitedAction, LimitedFramer, SkipReason, Verdict,
+};
+
+/// Why a backend could not be compiled from an expression — the fallible
+/// half of the construction API ([`FilterBackend::try_compile`]).
+///
+/// The panicking [`FilterBackend::compile`] remains for expressions the
+/// caller built through the smart constructors (which cannot produce
+/// invalid trees); anything compiled from **user-supplied** input should
+/// go through `try_compile` so an ill-formed expression degrades to an
+/// error value instead of aborting the lane.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The expression failed [`Expr::validate`].
+    InvalidExpr(ExprError),
+    /// A backend-specific construction step failed (elaboration,
+    /// netlist checks, simulator setup, …).
+    Backend {
+        /// Which backend refused ([`FilterBackend::name`] of the target).
+        backend: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidExpr(e) => write!(f, "invalid expression: {e}"),
+            CompileError::Backend { backend, reason } => {
+                write!(f, "{backend} backend failed to compile: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::InvalidExpr(e) => Some(e),
+            CompileError::Backend { .. } => None,
+        }
+    }
+}
+
+impl From<ExprError> for CompileError {
+    fn from(e: ExprError) -> Self {
+        CompileError::InvalidExpr(e)
+    }
+}
 
 /// A byte-serial raw-filter execution path.
 ///
@@ -67,6 +121,26 @@ pub trait FilterBackend {
     fn compile(expr: &Expr) -> Self
     where
         Self: Sized;
+
+    /// Fallible form of [`compile`](FilterBackend::compile): validates
+    /// the expression first and returns a [`CompileError`] instead of
+    /// panicking, so user-supplied expressions can never abort a lane.
+    ///
+    /// The default implementation is `validate` + `compile`; backends
+    /// whose construction has further failure modes (e.g. elaboration)
+    /// override it to surface those as [`CompileError::Backend`].
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidExpr`] if the expression fails
+    /// [`Expr::validate`]; backend-specific errors per implementation.
+    fn try_compile(expr: &Expr) -> Result<Self, CompileError>
+    where
+        Self: Sized,
+    {
+        expr.validate()?;
+        Ok(Self::compile(expr))
+    }
 
     /// Short stable identifier for reports and benchmarks
     /// (`"model"`, `"engine"`, `"cosim"`, …).
@@ -101,28 +175,15 @@ pub trait FilterBackend {
     /// Framing — CR handling, blank lines, the trailing record without
     /// a separator — follows the workspace-wide rules of
     /// [`rfjson_jsonstream::frame`], identically for every backend.
+    ///
+    /// This is a thin wrapper over the quarantine-aware
+    /// [`filter_stream_verdicts_into`](FilterBackend::filter_stream_verdicts_into)
+    /// with [`IngestLimits::UNLIMITED`], under which every verdict is a
+    /// plain match/no-match decision.
     fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
-        self.reset();
-        let mut framer = ChunkFramer::new();
-        let mut accept = false;
-        for &b in stream {
-            accept = self.on_byte(b);
-            match framer.on_byte(b) {
-                FrameAction::Feed => {}
-                FrameAction::EndRecord => {
-                    out.push(accept);
-                    self.reset();
-                }
-                FrameAction::EndBlank => self.reset(),
-            }
-        }
-        if framer.finish() {
-            // Close the trailing record with the `\n` the hardware
-            // would see.
-            accept = self.on_byte(b'\n') || accept;
-            out.push(accept);
-            self.reset();
-        }
+        let mut verdicts = Vec::new();
+        self.filter_stream_verdicts_into(stream, IngestLimits::UNLIMITED, &mut verdicts);
+        out.extend(verdicts.iter().map(Verdict::matched));
     }
 
     /// Filters a newline-delimited stream, returning the per-record
@@ -131,6 +192,89 @@ pub trait FilterBackend {
         let mut out = Vec::new();
         self.filter_stream_into(stream, &mut out);
         out
+    }
+
+    /// Quarantine-aware stream filtering: appends one [`Verdict`] per
+    /// record to `out`. Records violating `limits` are
+    /// [`Verdict::Skipped`] — reported, never silently dropped, and
+    /// never allowed to poison the lane (the per-record reset restores
+    /// the filter regardless of how much of a quarantined record was
+    /// actually scanned).
+    ///
+    /// With [`IngestLimits::UNLIMITED`] the match/no-match verdicts are
+    /// byte-identical to [`filter_stream_into`](FilterBackend::filter_stream_into)
+    /// decisions; under limits, the non-skipped verdicts still are.
+    fn filter_stream_verdicts_into(
+        &mut self,
+        stream: &[u8],
+        limits: IngestLimits,
+        out: &mut Vec<Verdict>,
+    ) {
+        run_verdict_driver(self, stream, limits, out);
+    }
+
+    /// Quarantine-aware stream filtering, returning one [`Verdict`] per
+    /// record (see
+    /// [`filter_stream_verdicts_into`](FilterBackend::filter_stream_verdicts_into)).
+    fn filter_stream_verdicts(&mut self, stream: &[u8], limits: IngestLimits) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        self.filter_stream_verdicts_into(stream, limits, &mut out);
+        out
+    }
+}
+
+/// The canonical quarantine-aware stream driver behind the provided
+/// [`FilterBackend`] batch methods — public so wrappers that override
+/// the provided methods (e.g. fault-injection harnesses) can delegate to
+/// the exact default behaviour.
+///
+/// Every content byte of a non-quarantined record reaches
+/// [`FilterBackend::on_byte`] in stream order, followed by the `\n`
+/// separator the hardware would see; bytes of records already destined
+/// for quarantine are skipped (their verdict no longer depends on the
+/// filter, and the record-boundary [`FilterBackend::reset`] restores the
+/// lane either way).
+pub fn run_verdict_driver<B: FilterBackend + ?Sized>(
+    backend: &mut B,
+    stream: &[u8],
+    limits: IngestLimits,
+    out: &mut Vec<Verdict>,
+) {
+    backend.reset();
+    let mut framer = LimitedFramer::new(limits);
+    let mut accept = false;
+    for &b in stream {
+        match framer.on_byte(b) {
+            LimitedAction::Feed { quarantined } => {
+                if !quarantined {
+                    accept = backend.on_byte(b);
+                }
+            }
+            LimitedAction::EndRecord(end) => {
+                out.push(match end.skip {
+                    Some(reason) => Verdict::Skipped(reason),
+                    None => {
+                        // Feed the separator the hardware would see.
+                        accept = backend.on_byte(b);
+                        Verdict::from_decision(accept)
+                    }
+                });
+                backend.reset();
+            }
+            LimitedAction::EndBlank => backend.reset(),
+        }
+    }
+    if let Some(end) = framer.finish() {
+        out.push(match end.skip {
+            Some(reason) => Verdict::Skipped(reason),
+            None => {
+                // Close the trailing record with the `\n` the hardware
+                // would see.
+                accept = backend.on_byte(b'\n') || accept;
+                Verdict::from_decision(accept)
+            }
+        });
+        backend.reset();
     }
 }
 
@@ -183,5 +327,121 @@ mod tests {
         assert!(e.accepts_record(br#"{"a":3}"#));
         assert!(!e.accepts_record(br#"{"a":9}"#));
         assert!(e.accepts_record(br#"{"a":3}"#), "reset on entry");
+    }
+
+    #[test]
+    fn try_compile_rejects_ill_formed_expressions_on_every_backend() {
+        let bad = Expr::And(vec![]);
+        assert!(matches!(
+            CompiledFilter::try_compile(&bad),
+            Err(CompileError::InvalidExpr(_))
+        ));
+        assert!(matches!(
+            Engine::try_compile(&bad),
+            Err(CompileError::InvalidExpr(_))
+        ));
+        assert!(matches!(
+            CosimBackend::try_compile(&bad),
+            Err(CompileError::InvalidExpr(_))
+        ));
+        let err = Engine::try_compile(&bad).unwrap_err();
+        assert!(err.to_string().contains("invalid expression"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn try_compile_accepts_what_compile_accepts() {
+        let expr = Expr::context([
+            Expr::substring(b"temperature", 1).unwrap(),
+            Expr::float_range("0.7", "35.1").unwrap(),
+        ]);
+        for mut b in [
+            Box::new(CompiledFilter::try_compile(&expr).unwrap()) as Box<dyn FilterBackend>,
+            Box::new(Engine::try_compile(&expr).unwrap()),
+            Box::new(CosimBackend::try_compile(&expr).unwrap()),
+        ] {
+            assert!(b.accepts_record(br#"{"e":[{"v":"21.0","n":"temperature"}]}"#));
+        }
+    }
+
+    #[test]
+    fn verdicts_match_boolean_decisions_when_unlimited() {
+        let expr = Expr::int_range(1, 5);
+        let stream: &[u8] = b"{\"a\":3}\r\n\r\n{\"a\":9}\n{\"a\":4}";
+        for b in &mut all_backends(&expr) {
+            let bools = b.filter_stream(stream);
+            let verdicts = b.filter_stream_verdicts(stream, IngestLimits::UNLIMITED);
+            assert_eq!(
+                verdicts.iter().map(Verdict::matched).collect::<Vec<_>>(),
+                bools,
+                "{}",
+                b.name()
+            );
+            assert!(verdicts.iter().all(|v| v.decision().is_some()));
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_quarantined_not_dropped() {
+        let expr = Expr::int_range(1, 5);
+        let long = format!("{{\"a\":3,\"pad\":\"{}\"}}", "x".repeat(64));
+        let stream = format!("{{\"a\":3}}\n{long}\n{{\"a\":9}}\n");
+        let limits = IngestLimits::max_record_bytes(32);
+        for b in &mut all_backends(&expr) {
+            let verdicts = b.filter_stream_verdicts(stream.as_bytes(), limits);
+            assert_eq!(
+                verdicts.len(),
+                3,
+                "{}: skipped records still counted",
+                b.name()
+            );
+            assert_eq!(verdicts[0], Verdict::Match);
+            assert_eq!(
+                verdicts[1],
+                Verdict::Skipped(SkipReason::TooLong {
+                    limit: 32,
+                    actual: long.len()
+                })
+            );
+            assert_eq!(
+                verdicts[2],
+                Verdict::NoMatch,
+                "{}: lane not poisoned",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn record_limit_quarantines_the_tail() {
+        let mut e = Engine::compile(&Expr::int_range(1, 5));
+        let verdicts = e.filter_stream_verdicts(
+            b"{\"a\":3}\n{\"a\":4}\n{\"a\":9}\n",
+            IngestLimits::max_records(2),
+        );
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Match,
+                Verdict::Match,
+                Verdict::Skipped(SkipReason::RecordLimit { limit: 2 })
+            ]
+        );
+    }
+
+    #[test]
+    fn quarantined_trailing_record_without_newline() {
+        // EOF + limit: the unclosed trailing record is metered too.
+        let mut e = Engine::compile(&Expr::int_range(1, 5));
+        let verdicts = e.filter_stream_verdicts(
+            b"{\"a\":3}\n{\"a\":4,\"pad\":\"xxxxxxxxxxxxxxxxxxx\"}",
+            IngestLimits::max_record_bytes(10),
+        );
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0], Verdict::Match);
+        assert!(matches!(
+            verdicts[1],
+            Verdict::Skipped(SkipReason::TooLong { .. })
+        ));
     }
 }

@@ -29,7 +29,7 @@
 //! # Ok::<(), rfjson_core::expr::ExprError>(())
 //! ```
 
-use crate::backend::FilterBackend;
+use crate::backend::{CompileError, FilterBackend};
 use crate::elaborate::elaborate_filter;
 use crate::expr::Expr;
 use rfjson_rtl::{find_byte_port, NodeId, OwnedSimulator};
@@ -60,19 +60,30 @@ impl CosimBackend {
 
 impl FilterBackend for CosimBackend {
     fn compile(expr: &Expr) -> Self {
-        expr.validate().expect("expression must be well-formed");
+        Self::try_compile(expr).expect("expression must be well-formed")
+    }
+
+    fn try_compile(expr: &Expr) -> Result<Self, CompileError> {
+        expr.validate()?;
+        // Elaboration and simulator setup have their own failure modes
+        // (malformed ports, ill-formed netlists); surface them as
+        // structured errors rather than aborting the lane.
         let netlist = elaborate_filter(expr, "cosim");
-        let byte_bits = find_byte_port(&netlist, "byte").expect("elaborated byte port exists");
+        let backend_err = |reason: String| CompileError::Backend {
+            backend: "cosim",
+            reason,
+        };
+        let byte_bits = find_byte_port(&netlist, "byte").map_err(|e| backend_err(e.to_string()))?;
         let match_id = netlist
             .find_output("match")
-            .expect("elaborated match port exists");
-        let sim = OwnedSimulator::new(netlist).expect("elaborated netlist is well-formed");
-        CosimBackend {
+            .ok_or_else(|| backend_err("elaborated netlist has no `match` output".into()))?;
+        let sim = OwnedSimulator::new(netlist).map_err(|e| backend_err(e.to_string()))?;
+        Ok(CosimBackend {
             expr: expr.clone(),
             sim,
             byte_bits,
             match_id,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

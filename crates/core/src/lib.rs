@@ -80,7 +80,7 @@ pub mod expr;
 pub mod primitive;
 pub mod query;
 
-pub use backend::FilterBackend;
+pub use backend::{CompileError, FilterBackend, IngestLimits, SkipReason, Verdict};
 pub use cosim::CosimBackend;
 pub use engine::{Engine, ProgramView};
 pub use evaluator::CompiledFilter;
@@ -89,7 +89,7 @@ pub use expr::{Expr, StructScope};
 /// Convenience prelude for downstream users.
 pub mod prelude {
     pub use crate::arch::RawFilterSystem;
-    pub use crate::backend::FilterBackend;
+    pub use crate::backend::{CompileError, FilterBackend, IngestLimits, SkipReason, Verdict};
     pub use crate::cosim::CosimBackend;
     pub use crate::design::{explore, DesignPoint, ExploreOptions};
     pub use crate::elaborate::elaborate_filter;

@@ -24,6 +24,7 @@
 //! record boundaries for the parallel runtime. Their equivalence is held
 //! by the cross-impl tests in the root crate (`tests/framing_equiv.rs`).
 
+use core::fmt;
 use core::ops::Range;
 
 /// Strips the single framing CR before an LF (CRLF line endings).
@@ -190,6 +191,301 @@ impl FrameAssembler {
     /// Bytes buffered awaiting a newline.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+}
+
+/// Per-stream ingest limits for **record quarantine**.
+///
+/// The paper's RF lanes are fixed-function hardware: a malformed or
+/// absurdly long record cannot crash them, but in a software lane it can
+/// monopolise a thread or poison downstream accounting. `IngestLimits`
+/// bounds what a single stream may ask of a lane; records that violate a
+/// limit are **skipped and reported** (see [`SkipReason`]) rather than
+/// silently filtered or dropped.
+///
+/// `None` means unlimited; [`IngestLimits::UNLIMITED`] (also the
+/// `Default`) never quarantines anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestLimits {
+    /// Maximum record content length in bytes (the line with the framing
+    /// CR/LF already excluded, exactly [`trim_cr`] of the line). Longer
+    /// records are quarantined as [`SkipReason::TooLong`].
+    pub max_record_bytes: Option<usize>,
+    /// Maximum number of records per stream. Records at index
+    /// `max_records` and beyond are quarantined as
+    /// [`SkipReason::RecordLimit`].
+    pub max_records: Option<usize>,
+}
+
+impl IngestLimits {
+    /// No limits: nothing is ever quarantined.
+    pub const UNLIMITED: IngestLimits = IngestLimits {
+        max_record_bytes: None,
+        max_records: None,
+    };
+
+    /// Limits that only cap record length.
+    pub fn max_record_bytes(limit: usize) -> IngestLimits {
+        IngestLimits {
+            max_record_bytes: Some(limit),
+            ..IngestLimits::UNLIMITED
+        }
+    }
+
+    /// Limits that only cap the record count.
+    pub fn max_records(limit: usize) -> IngestLimits {
+        IngestLimits {
+            max_records: Some(limit),
+            ..IngestLimits::UNLIMITED
+        }
+    }
+
+    /// `true` if no limit is set (the fast-path configuration).
+    pub fn is_unlimited(&self) -> bool {
+        *self == IngestLimits::UNLIMITED
+    }
+}
+
+/// Why a record was quarantined instead of filtered.
+///
+/// When a limit fires on a record that violates **both** limits, the
+/// record-count limit wins: it is a property of the record's position in
+/// the stream, which the sharded runtime applies globally, while
+/// [`SkipReason::TooLong`] is a property of the record alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SkipReason {
+    /// Record content exceeded [`IngestLimits::max_record_bytes`].
+    TooLong {
+        /// The configured limit.
+        limit: usize,
+        /// The record's actual content length.
+        actual: usize,
+    },
+    /// The record's stream index reached [`IngestLimits::max_records`].
+    RecordLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::TooLong { limit, actual } => {
+                write!(f, "record too long ({actual} bytes > limit {limit})")
+            }
+            SkipReason::RecordLimit { limit } => {
+                write!(f, "record limit reached (max {limit} records)")
+            }
+        }
+    }
+}
+
+/// Per-record filtering outcome of the quarantine-aware stream drivers.
+///
+/// The boolean decision API collapses this to `Verdict::Match == true`;
+/// the verdict API additionally distinguishes records that were never
+/// filtered because an [`IngestLimits`] rule quarantined them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The record satisfied the filter.
+    Match,
+    /// The record was filtered and did not satisfy the filter.
+    NoMatch,
+    /// The record was quarantined and never (fully) filtered.
+    Skipped(SkipReason),
+}
+
+impl Verdict {
+    /// Collapses to the boolean decision API: only [`Verdict::Match`]
+    /// is `true` (a skipped record is conservatively a non-match).
+    pub fn matched(&self) -> bool {
+        matches!(self, Verdict::Match)
+    }
+
+    /// The filter decision, if the record was actually filtered.
+    pub fn decision(&self) -> Option<bool> {
+        match self {
+            Verdict::Match => Some(true),
+            Verdict::NoMatch => Some(false),
+            Verdict::Skipped(_) => None,
+        }
+    }
+
+    /// Lifts a boolean decision into a verdict.
+    pub fn from_decision(accept: bool) -> Verdict {
+        if accept {
+            Verdict::Match
+        } else {
+            Verdict::NoMatch
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Match => write!(f, "match"),
+            Verdict::NoMatch => write!(f, "no-match"),
+            Verdict::Skipped(r) => write!(f, "skipped: {r}"),
+        }
+    }
+}
+
+/// End-of-record report from [`LimitedFramer`]: `skip` is `Some` when
+/// the record violated an [`IngestLimits`] rule and must be quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordEnd {
+    /// Why the record is quarantined, or `None` to accept its filter
+    /// decision.
+    pub skip: Option<SkipReason>,
+}
+
+/// What one byte means for limit-aware framing (returned by
+/// [`LimitedFramer::on_byte`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitedAction {
+    /// The byte belongs to the current line. `quarantined` is `true`
+    /// once the record can no longer escape quarantine — a driver may
+    /// stop feeding its filter (the verdict is already decided, and the
+    /// record-boundary reset restores the filter either way).
+    Feed {
+        /// The byte need not reach the filter.
+        quarantined: bool,
+    },
+    /// Separator ending a non-blank record.
+    EndRecord(RecordEnd),
+    /// Separator after a blank line: reset, emit nothing.
+    EndBlank,
+}
+
+/// [`ChunkFramer`] plus [`IngestLimits`] metering: the byte-serial
+/// framing state machine extended with a per-record content gauge and a
+/// record counter, so oversized or limit-violating records are
+/// **skipped-and-reported** instead of silently poisoning a lane.
+///
+/// The gauge measures record **content** length — the line with the
+/// single framing CR excluded, exactly what [`trim_cr`] would return —
+/// so CRLF and LF streams quarantine identically. Because content is a
+/// per-record property, a record produces the same [`RecordEnd`] whether
+/// the stream is framed whole or shard-by-shard over [`shard_ranges`]
+/// cuts (the record counter is shard-local; the parallel runtime applies
+/// [`IngestLimits::max_records`] globally instead).
+///
+/// # Example
+///
+/// ```
+/// use rfjson_jsonstream::frame::{IngestLimits, LimitedAction, LimitedFramer, SkipReason};
+///
+/// let mut f = LimitedFramer::new(IngestLimits::max_record_bytes(3));
+/// for &b in b"abcd" {
+///     f.on_byte(b);
+/// }
+/// // Trailing record without a newline is still metered at EOF:
+/// let end = f.finish().expect("unclosed trailing record");
+/// assert_eq!(end.skip, Some(SkipReason::TooLong { limit: 3, actual: 4 }));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LimitedFramer {
+    framer: ChunkFramer,
+    limits: IngestLimits,
+    /// Stop-feeding threshold: one byte of slack over `max_record_bytes`
+    /// because the byte that crosses the limit may yet turn out to be a
+    /// framing CR (which does not count as content).
+    feed_cutoff: usize,
+    record_len: usize,
+    last_was_cr: bool,
+    records_seen: usize,
+}
+
+impl LimitedFramer {
+    /// Fresh limit-aware framer at a record boundary.
+    pub fn new(limits: IngestLimits) -> Self {
+        LimitedFramer {
+            framer: ChunkFramer::new(),
+            limits,
+            feed_cutoff: limits
+                .max_record_bytes
+                .map_or(usize::MAX, |m| m.saturating_add(1)),
+            record_len: 0,
+            last_was_cr: false,
+            records_seen: 0,
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> IngestLimits {
+        self.limits
+    }
+
+    /// Records completed so far (quarantined ones included).
+    pub fn records_seen(&self) -> usize {
+        self.records_seen
+    }
+
+    fn record_end(&mut self) -> RecordEnd {
+        let content = self.record_len - usize::from(self.last_was_cr);
+        let index = self.records_seen;
+        self.records_seen += 1;
+        self.record_len = 0;
+        self.last_was_cr = false;
+        // Record-count quarantine wins over length quarantine — see
+        // `SkipReason` for why.
+        let skip = match self.limits.max_records {
+            Some(m) if index >= m => Some(SkipReason::RecordLimit { limit: m }),
+            _ => match self.limits.max_record_bytes {
+                Some(m) if content > m => Some(SkipReason::TooLong {
+                    limit: m,
+                    actual: content,
+                }),
+                _ => None,
+            },
+        };
+        RecordEnd { skip }
+    }
+
+    /// Consumes one byte and classifies it.
+    #[inline]
+    pub fn on_byte(&mut self, byte: u8) -> LimitedAction {
+        match self.framer.on_byte(byte) {
+            FrameAction::Feed => {
+                self.record_len += 1;
+                self.last_was_cr = byte == b'\r';
+                LimitedAction::Feed {
+                    quarantined: self.record_len > self.feed_cutoff
+                        || self
+                            .limits
+                            .max_records
+                            .is_some_and(|m| self.records_seen >= m),
+                }
+            }
+            FrameAction::EndRecord => LimitedAction::EndRecord(self.record_end()),
+            FrameAction::EndBlank => {
+                self.record_len = 0;
+                self.last_was_cr = false;
+                LimitedAction::EndBlank
+            }
+        }
+    }
+
+    /// End of stream: reports (and resets) the unclosed trailing record,
+    /// metered against the same limits as every other record.
+    pub fn finish(&mut self) -> Option<RecordEnd> {
+        if self.framer.finish() {
+            Some(self.record_end())
+        } else {
+            self.record_len = 0;
+            self.last_was_cr = false;
+            None
+        }
+    }
+
+    /// Back to a record boundary (the record counter keeps counting).
+    pub fn reset(&mut self) {
+        self.framer.reset();
+        self.record_len = 0;
+        self.last_was_cr = false;
     }
 }
 
@@ -382,6 +678,222 @@ mod tests {
                 assert_valid_sharding(stream, shards);
             }
         }
+    }
+
+    /// Reference implementation of per-record quarantine metadata: one
+    /// `RecordEnd` per record of `stream`, derived from `split_records`
+    /// (shard-local record counter starting at `base`).
+    fn quarantine_oracle(stream: &[u8], limits: IngestLimits, base: usize) -> Vec<RecordEnd> {
+        split_records(stream)
+            .enumerate()
+            .map(|(i, rec)| RecordEnd {
+                skip: match limits.max_records {
+                    Some(m) if base + i >= m => Some(SkipReason::RecordLimit { limit: m }),
+                    _ => match limits.max_record_bytes {
+                        Some(m) if rec.len() > m => Some(SkipReason::TooLong {
+                            limit: m,
+                            actual: rec.len(),
+                        }),
+                        _ => None,
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Drives a `LimitedFramer` over the whole stream, collecting every
+    /// record end (including the unclosed trailing record).
+    fn run_limited(stream: &[u8], limits: IngestLimits) -> Vec<RecordEnd> {
+        let mut f = LimitedFramer::new(limits);
+        let mut ends = Vec::new();
+        for &b in stream {
+            if let LimitedAction::EndRecord(end) = f.on_byte(b) {
+                ends.push(end);
+            }
+        }
+        ends.extend(f.finish());
+        ends
+    }
+
+    #[test]
+    fn limited_framer_matches_oracle_on_framing_zoo() {
+        let streams: Vec<&[u8]> = vec![
+            b"",
+            b"x",
+            b"{\"a\":1}\n",
+            b"{\"a\":1}\n{\"bbbbbbbbbb\":2}\n{\"c\":3}",
+            b"{\"a\":1}\r\n\r\n{\"bbbbbbbbbb\":2}\n\n{\"c\":3}\r\n",
+            b"\n\n\n",
+            b"a\nbb\nccc\ndddd\neeeee\nffffff\n",
+            b"one-very-long-record-with-no-separator-at-all-0123456789",
+        ];
+        let limit_sets = [
+            IngestLimits::UNLIMITED,
+            IngestLimits::max_record_bytes(0),
+            IngestLimits::max_record_bytes(3),
+            IngestLimits::max_record_bytes(7),
+            IngestLimits::max_records(0),
+            IngestLimits::max_records(2),
+            IngestLimits {
+                max_record_bytes: Some(3),
+                max_records: Some(2),
+            },
+        ];
+        for stream in &streams {
+            for limits in limit_sets {
+                assert_eq!(
+                    run_limited(stream, limits),
+                    quarantine_oracle(stream, limits, 0),
+                    "stream {:?} limits {limits:?}",
+                    String::from_utf8_lossy(stream)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_record_without_newline_is_metered_at_eof() {
+        // The degenerate EOF case: the last record has no `\n`, yet the
+        // byte limit must still apply to it — identically whether the
+        // buffer is framed whole or as the final shard of a split.
+        let stream: &[u8] = b"{\"a\":1}\n{\"pad\":\"xxxxxxxxxxxxxxxx\"}";
+        let limits = IngestLimits::max_record_bytes(10);
+        let ends = run_limited(stream, limits);
+        assert_eq!(ends.len(), 2);
+        assert_eq!(ends[0].skip, None);
+        assert_eq!(
+            ends[1].skip,
+            Some(SkipReason::TooLong {
+                limit: 10,
+                actual: 26
+            })
+        );
+        // Same verdicts when the buffer is framed shard-by-shard.
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = Vec::new();
+            for r in shard_ranges(stream, shards) {
+                sharded.extend(run_limited(&stream[r], limits));
+            }
+            assert_eq!(sharded, ends, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_quarantine_equals_whole_stream_quarantine() {
+        // max_record_bytes is a per-record property: framing each shard
+        // independently yields the same skip decisions as framing the
+        // whole stream (max_records is deliberately shard-local; the
+        // runtime applies it globally — modelled here via `base`).
+        let stream =
+            b"{\"a\":1}\r\n{\"long-pad\":\"xxxxxxxxxxxxxxxxxxxxxxxxxxx\"}\n\n{\"b\":2}\n{\"c\":3}\nx"
+                .to_vec();
+        let limits = IngestLimits::max_record_bytes(12);
+        let whole = run_limited(&stream, limits);
+        for shards in [1, 2, 3, 8, 64] {
+            let mut sharded = Vec::new();
+            let mut base = 0;
+            for r in shard_ranges(&stream, shards) {
+                let part = run_limited(&stream[r.clone()], limits);
+                assert_eq!(
+                    part,
+                    quarantine_oracle(&stream[r], limits, base),
+                    "oracle per shard"
+                );
+                base += part.len();
+                sharded.extend(part);
+            }
+            assert_eq!(sharded, whole, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn crlf_framing_cr_does_not_count_as_content() {
+        // "abcd\r\n": content is 4 bytes. With limit 4 the record passes,
+        // and every content byte (incl. the eventual framing CR) stays
+        // un-quarantined so a driver feeds its filter the same bytes the
+        // unlimited path would.
+        let mut f = LimitedFramer::new(IngestLimits::max_record_bytes(4));
+        for &b in b"abcd\r" {
+            assert_eq!(f.on_byte(b), LimitedAction::Feed { quarantined: false });
+        }
+        assert_eq!(
+            f.on_byte(b'\n'),
+            LimitedAction::EndRecord(RecordEnd { skip: None })
+        );
+        // Interior CRs *are* content: "ab\rcd" is 5 bytes.
+        let ends = run_limited(b"ab\rcd\n", IngestLimits::max_record_bytes(4));
+        assert_eq!(
+            ends[0].skip,
+            Some(SkipReason::TooLong {
+                limit: 4,
+                actual: 5
+            })
+        );
+    }
+
+    #[test]
+    fn quarantined_feed_flag_never_fires_on_kept_records() {
+        // If any byte of a record reported `quarantined: true`, the
+        // record's RecordEnd must carry a skip — the driver contract that
+        // makes skip-feeding safe.
+        let limits = IngestLimits {
+            max_record_bytes: Some(5),
+            max_records: Some(3),
+        };
+        let stream: &[u8] = b"aaaa\r\nbbbbbbbb\ncc\ndddddddddd\nee\nf";
+        let mut f = LimitedFramer::new(limits);
+        let mut saw_quarantined_byte = false;
+        let check = |skipped: Option<SkipReason>, saw: &mut bool| {
+            if skipped.is_none() {
+                assert!(!*saw, "kept record had a quarantined byte");
+            }
+            *saw = false;
+        };
+        for &b in stream {
+            match f.on_byte(b) {
+                LimitedAction::Feed { quarantined } => saw_quarantined_byte |= quarantined,
+                LimitedAction::EndRecord(end) => check(end.skip, &mut saw_quarantined_byte),
+                LimitedAction::EndBlank => saw_quarantined_byte = false,
+            }
+        }
+        if let Some(end) = f.finish() {
+            check(end.skip, &mut saw_quarantined_byte);
+        }
+    }
+
+    #[test]
+    fn record_limit_wins_over_length_limit() {
+        let limits = IngestLimits {
+            max_record_bytes: Some(2),
+            max_records: Some(1),
+        };
+        let ends = run_limited(b"aaaa\nbbbb\n", limits);
+        assert_eq!(
+            ends[0].skip,
+            Some(SkipReason::TooLong {
+                limit: 2,
+                actual: 4
+            })
+        );
+        assert_eq!(ends[1].skip, Some(SkipReason::RecordLimit { limit: 1 }));
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Match.matched());
+        assert!(!Verdict::NoMatch.matched());
+        assert_eq!(Verdict::from_decision(true), Verdict::Match);
+        assert_eq!(Verdict::from_decision(false), Verdict::NoMatch);
+        let skipped = Verdict::Skipped(SkipReason::RecordLimit { limit: 4 });
+        assert!(!skipped.matched());
+        assert_eq!(skipped.decision(), None);
+        assert_eq!(Verdict::Match.decision(), Some(true));
+        assert_eq!(
+            skipped.to_string(),
+            "skipped: record limit reached (max 4 records)"
+        );
+        assert!(IngestLimits::UNLIMITED.is_unlimited());
+        assert!(!IngestLimits::max_records(1).is_unlimited());
     }
 
     #[test]

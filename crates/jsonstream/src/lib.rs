@@ -28,7 +28,10 @@ pub mod value;
 pub mod write;
 
 pub use classify::{classify, ByteClass, BYTE_CLASS};
-pub use frame::{shard_ranges, ChunkFramer, FrameAction, FrameAssembler};
+pub use frame::{
+    shard_ranges, ChunkFramer, FrameAction, FrameAssembler, IngestLimits, LimitedFramer,
+    SkipReason, Verdict,
+};
 pub use mask::StringMask;
 pub use nesting::NestingTracker;
 pub use parser::{parse, ParseJsonError};

@@ -37,14 +37,100 @@
 //! This is the architectural seam future scaling work (async ingest,
 //! multi-query sharing, real hardware offload) plugs into: anything that
 //! implements [`FilterBackend`] is sharded for free.
+//!
+//! # Fault tolerance
+//!
+//! The paper's RF lanes are fixed-function hardware that cannot crash
+//! mid-stream; software lanes can. This runtime therefore treats lane
+//! failure and malformed input as first-class, never process-fatal:
+//!
+//! * **Fallible construction** — [`ShardedRunner::try_new`] /
+//!   [`try_with_config`](ShardedRunner::try_with_config) return a
+//!   [`CompileError`] for ill-formed expressions; the panicking
+//!   constructors remain as thin wrappers for trusted expressions.
+//! * **Panic isolation + graceful degradation** — every shard (and the
+//!   serial fast path) runs under [`std::panic::catch_unwind`]. A
+//!   failed or wrong-length shard is quarantined: its lane is
+//!   recompiled, and the shard is **retried once, serially, on the
+//!   reference model backend** (`R`, default [`CompiledFilter`]). Only
+//!   if the retry also fails does the stream return
+//!   [`RuntimeError::ShardFailed`] with the shard index and the global
+//!   record range it covered — the process never aborts.
+//! * **Record quarantine** — [`ShardedRunner::filter_stream_verdicts`]
+//!   applies [`IngestLimits`]: oversized records and records beyond the
+//!   stream's record budget are [`Verdict::Skipped`] (reported, never
+//!   silently dropped), byte-identically to the serial quarantine path
+//!   at every shard count.
+//!
+//! The degradation ladder is thus *engine lane → model retry →
+//! structured error*: the same shape a future async or hardware-offload
+//! lane inherits (a dead FPGA lane degrades one slice of the stream,
+//! never the service).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "fault"))]
+pub mod fault;
+
 use rfjson_core::backend::FilterBackend;
 use rfjson_core::expr::Expr;
-use rfjson_jsonstream::frame::shard_ranges;
+use rfjson_core::CompiledFilter;
+use rfjson_jsonstream::frame::{shard_ranges, split_records};
+use std::error::Error;
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use rfjson_core::backend::CompileError;
+pub use rfjson_jsonstream::frame::{IngestLimits, SkipReason, Verdict};
+
+/// A structured, never-process-fatal runtime failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A lane could not be compiled from the runner's expression.
+    Compile(CompileError),
+    /// One shard failed on its primary lane **and** on the serial
+    /// model-backend retry (a *double fault*). `records` is the global,
+    /// input-order record index range the shard covered; every other
+    /// shard's records were filtered normally.
+    ShardFailed {
+        /// Index of the failed shard (stream order, 0-based).
+        shard: usize,
+        /// Global record indices the shard covered.
+        records: Range<usize>,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "lane compilation failed: {e}"),
+            RuntimeError::ShardFailed { shard, records } => write!(
+                f,
+                "shard {shard} failed on both the primary lane and the model retry \
+                 (records {}..{})",
+                records.start, records.end
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Compile(e) => Some(e),
+            RuntimeError::ShardFailed { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
 
 /// How a [`ShardedRunner`] divides work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,30 +162,55 @@ impl Default for RunnerConfig {
 /// cosim-faithful model, or any future [`FilterBackend`]. Backend
 /// lanes are compiled lazily on first use and **cached across calls**,
 /// so a long-lived runner pays compilation once, not per stream.
+///
+/// The second type parameter `R` is the **retry backend**: when a shard
+/// lane panics or returns a malformed decision vector, the shard is
+/// re-run serially on a freshly compiled `R` (the reference
+/// [`CompiledFilter`] model by default) before the stream is declared
+/// failed. See the crate docs' *Fault tolerance* section.
 #[derive(Debug, Clone)]
-pub struct ShardedRunner<B: FilterBackend> {
+pub struct ShardedRunner<B: FilterBackend, R: FilterBackend = CompiledFilter> {
     expr: Expr,
     config: RunnerConfig,
     /// Cached per-shard backend lanes, grown on demand (lane `i` serves
     /// shard `i`; every lane is reset at the start of each stream by
-    /// the backend's own stream driver).
+    /// the backend's own stream driver). A lane that panicked is
+    /// recompiled before its next use.
     lanes: Vec<B>,
+    /// Lazily compiled retry lane (dropped again if it ever panics).
+    retry_lane: Option<R>,
 }
 
-impl<B: FilterBackend + Send> ShardedRunner<B> {
+impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
     /// Runner with the default configuration (one shard per available
     /// core, 64 KiB minimum shard size).
     ///
     /// # Panics
     ///
     /// Panics if the expression fails validation (same contract as
-    /// [`FilterBackend::compile`]).
+    /// [`FilterBackend::compile`]). For user-supplied expressions use
+    /// the non-panicking [`ShardedRunner::try_new`].
     pub fn new(expr: &Expr) -> Self {
         Self::with_config(expr, RunnerConfig::default())
     }
 
+    /// Fallible form of [`ShardedRunner::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidExpr`] if the expression fails
+    /// [`Expr::validate`].
+    pub fn try_new(expr: &Expr) -> Result<Self, CompileError> {
+        Self::try_with_config(expr, RunnerConfig::default())
+    }
+
     /// Runner with an explicit shard count (no minimum-size cap) —
     /// what the differential tests use to pin lane counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression fails validation. For user-supplied
+    /// expressions use the non-panicking [`ShardedRunner::try_with_shards`].
     pub fn with_shards(expr: &Expr, shards: usize) -> Self {
         Self::with_config(
             expr,
@@ -110,14 +221,47 @@ impl<B: FilterBackend + Send> ShardedRunner<B> {
         )
     }
 
+    /// Fallible form of [`ShardedRunner::with_shards`].
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidExpr`] if the expression fails
+    /// [`Expr::validate`].
+    pub fn try_with_shards(expr: &Expr, shards: usize) -> Result<Self, CompileError> {
+        Self::try_with_config(
+            expr,
+            RunnerConfig {
+                shards: Some(shards),
+                min_shard_bytes: 1,
+            },
+        )
+    }
+
     /// Runner with full configuration control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression fails validation. For user-supplied
+    /// expressions use the non-panicking [`ShardedRunner::try_with_config`].
     pub fn with_config(expr: &Expr, config: RunnerConfig) -> Self {
-        expr.validate().expect("expression must be well-formed");
-        ShardedRunner {
+        Self::try_with_config(expr, config).expect("expression must be well-formed")
+    }
+
+    /// Fallible form of [`ShardedRunner::with_config`]: no public
+    /// constructor of this runner panics on user input.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidExpr`] if the expression fails
+    /// [`Expr::validate`].
+    pub fn try_with_config(expr: &Expr, config: RunnerConfig) -> Result<Self, CompileError> {
+        expr.validate()?;
+        Ok(ShardedRunner {
             expr: expr.clone(),
             config,
             lanes: Vec::new(),
-        }
+            retry_lane: None,
+        })
     }
 
     /// The source expression.
@@ -151,43 +295,267 @@ impl<B: FilterBackend + Send> ShardedRunner<B> {
     /// Filters a newline-delimited stream, returning per-record accept
     /// decisions in input order — byte-for-byte identical to the serial
     /// [`FilterBackend::filter_stream`] of the same backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on a shard **double fault** (primary lane *and* the
+    /// serial model retry both failed — see the crate docs' degradation
+    /// ladder), which no user-supplied expression or input bytes can
+    /// cause. Use [`ShardedRunner::try_filter_stream`] to handle even
+    /// that case as a value.
     pub fn filter_stream(&mut self, stream: &[u8]) -> Vec<bool> {
-        let mut out = Vec::new();
-        self.filter_stream_into(stream, &mut out);
-        out
+        self.try_filter_stream(stream)
+            .expect("shard double fault: primary lane and model retry both failed")
     }
 
     /// Allocation-reusing form of [`ShardedRunner::filter_stream`]:
     /// appends one decision per record to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Same double-fault-only contract as
+    /// [`ShardedRunner::filter_stream`].
     pub fn filter_stream_into(&mut self, stream: &[u8], out: &mut Vec<bool>) {
+        self.try_filter_stream_into(stream, out)
+            .expect("shard double fault: primary lane and model retry both failed");
+    }
+
+    /// Fallible form of [`ShardedRunner::filter_stream`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShardFailed`] on a shard double fault;
+    /// [`RuntimeError::Compile`] if a lane cannot be compiled.
+    pub fn try_filter_stream(&mut self, stream: &[u8]) -> Result<Vec<bool>, RuntimeError> {
+        let mut out = Vec::new();
+        self.try_filter_stream_into(stream, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fallible, allocation-reusing form of
+    /// [`ShardedRunner::filter_stream`]: appends one decision per record
+    /// to `out` (which is left with this call's decisions removed again
+    /// on error).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedRunner::try_filter_stream`].
+    pub fn try_filter_stream_into(
+        &mut self,
+        stream: &[u8],
+        out: &mut Vec<bool>,
+    ) -> Result<(), RuntimeError> {
+        let mut verdicts = Vec::new();
+        self.filter_stream_verdicts_into(stream, IngestLimits::UNLIMITED, &mut verdicts)?;
+        out.extend(verdicts.iter().map(Verdict::matched));
+        Ok(())
+    }
+
+    /// Quarantine-aware parallel stream filtering: one [`Verdict`] per
+    /// record, in input order, with [`IngestLimits`] applied exactly as
+    /// the serial [`FilterBackend::filter_stream_verdicts`] path applies
+    /// them (the record-length limit per record, the record budget
+    /// globally across all shards).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedRunner::try_filter_stream`].
+    pub fn filter_stream_verdicts(
+        &mut self,
+        stream: &[u8],
+        limits: IngestLimits,
+    ) -> Result<Vec<Verdict>, RuntimeError> {
+        let mut out = Vec::new();
+        self.filter_stream_verdicts_into(stream, limits, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing form of
+    /// [`ShardedRunner::filter_stream_verdicts`]. On error, `out` is
+    /// restored to its length at entry (no partial output).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedRunner::try_filter_stream`].
+    pub fn filter_stream_verdicts_into(
+        &mut self,
+        stream: &[u8],
+        limits: IngestLimits,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), RuntimeError> {
+        let base = out.len();
+        let result = self.run_resilient(stream, limits, out);
+        if result.is_err() {
+            out.truncate(base);
+        }
+        result
+    }
+
+    /// The resilient driver behind every stream API: fan out, catch
+    /// faults, retry failed shards on the reference backend, reassemble.
+    fn run_resilient(
+        &mut self,
+        stream: &[u8],
+        limits: IngestLimits,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), RuntimeError> {
         let ranges = self.plan(stream);
-        while self.lanes.len() < ranges.len().max(1) {
-            self.lanes.push(B::compile(&self.expr));
-        }
+        self.ensure_lanes(ranges.len().max(1))?;
+        // Record length is a per-record property the lanes apply
+        // locally; the record budget is a *stream* property applied
+        // globally after reassembly (a lane cannot know how many
+        // records precede its shard).
+        let lane_limits = IngestLimits {
+            max_record_bytes: limits.max_record_bytes,
+            max_records: None,
+        };
+        let base = out.len();
         if ranges.len() <= 1 {
-            // Serial fast path: no threads for one (or zero) shards.
+            // Serial fast path: no threads for one (or zero) shards —
+            // but the same fault ladder.
             if let Some(r) = ranges.first() {
-                self.lanes[0].filter_stream_into(&stream[r.clone()], out);
+                let shard = &stream[r.clone()];
+                match run_lane(&mut self.lanes[0], shard, lane_limits) {
+                    Ok(v) => out.extend_from_slice(&v),
+                    Err(Fault) => {
+                        self.heal_lane(0);
+                        let expected = split_records(shard).count();
+                        let v = self.retry_shard(0, 0, shard, lane_limits, expected)?;
+                        out.extend_from_slice(&v);
+                    }
+                }
             }
-            return;
+        } else {
+            let results: Vec<Result<Vec<Verdict>, Fault>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .lanes
+                    .iter_mut()
+                    .zip(ranges.iter().cloned())
+                    .map(|(lane, range)| {
+                        let shard = &stream[range];
+                        scope.spawn(move || run_lane(lane, shard, lane_limits))
+                    })
+                    .collect();
+                // A panic is caught *inside* the thread; a join error
+                // would mean the panic escaped the catch, so treat it
+                // as the same lane fault rather than propagating.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(Err(Fault)))
+                    .collect()
+            });
+            // Shards are spawned (and joined) in stream order, so plain
+            // concatenation reassembles the verdicts in input order;
+            // failed shards are retried serially on the reference lane.
+            let mut record_base = 0;
+            for (shard_idx, (result, range)) in results.into_iter().zip(&ranges).enumerate() {
+                let shard = &stream[range.clone()];
+                let expected = split_records(shard).count();
+                match result {
+                    Ok(v) => out.extend_from_slice(&v),
+                    Err(Fault) => {
+                        self.heal_lane(shard_idx);
+                        let v =
+                            self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?;
+                        out.extend_from_slice(&v);
+                    }
+                }
+                record_base += expected;
+            }
         }
-        let results: Vec<Vec<bool>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .lanes
-                .iter_mut()
-                .zip(ranges.iter().cloned())
-                .map(|(lane, range)| scope.spawn(move || lane.filter_stream(&stream[range])))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        // Shards are spawned (and joined) in stream order, so plain
-        // concatenation reassembles the decision vector in input order.
-        for shard_decisions in &results {
-            out.extend_from_slice(shard_decisions);
+        // Apply the global record budget: every verdict past the limit
+        // is overwritten, exactly as the serial quarantine path reports
+        // it (record-count quarantine wins over length quarantine).
+        if let Some(m) = limits.max_records {
+            for v in out[base..].iter_mut().skip(m) {
+                *v = Verdict::Skipped(SkipReason::RecordLimit { limit: m });
+            }
         }
+        Ok(())
+    }
+
+    /// Compiles missing lanes. A panic during lane compilation is
+    /// reported as a [`CompileError::Backend`], never propagated.
+    fn ensure_lanes(&mut self, n: usize) -> Result<(), RuntimeError> {
+        while self.lanes.len() < n {
+            let expr = &self.expr;
+            let lane =
+                catch_unwind(AssertUnwindSafe(|| B::try_compile(expr))).unwrap_or_else(|_| {
+                    Err(CompileError::Backend {
+                        backend: "shard lane",
+                        reason: "panicked during compilation".into(),
+                    })
+                })?;
+            self.lanes.push(lane);
+        }
+        Ok(())
+    }
+
+    /// Replaces a lane whose state is suspect after a caught fault. If
+    /// recompilation itself fails, the old lane is kept: every stream
+    /// driver resets its lanes at stream start, and a still-broken lane
+    /// simply fails (and is retried) again on its next use.
+    fn heal_lane(&mut self, i: usize) {
+        let expr = &self.expr;
+        if let Ok(Ok(fresh)) = catch_unwind(AssertUnwindSafe(|| B::try_compile(expr))) {
+            self.lanes[i] = fresh;
+        }
+    }
+
+    /// Second rung of the degradation ladder: re-runs one failed shard
+    /// serially on the reference backend `R`. A failure here is the
+    /// **double fault** that ends the ladder with a structured error.
+    fn retry_shard(
+        &mut self,
+        shard_idx: usize,
+        record_base: usize,
+        shard: &[u8],
+        limits: IngestLimits,
+        expected: usize,
+    ) -> Result<Vec<Verdict>, RuntimeError> {
+        let failed = || RuntimeError::ShardFailed {
+            shard: shard_idx,
+            records: record_base..record_base + expected,
+        };
+        if self.retry_lane.is_none() {
+            let expr = &self.expr;
+            match catch_unwind(AssertUnwindSafe(|| R::try_compile(expr))) {
+                Ok(Ok(lane)) => self.retry_lane = Some(lane),
+                _ => return Err(failed()),
+            }
+        }
+        let lane = self.retry_lane.as_mut().expect("compiled above");
+        match run_lane(lane, shard, limits) {
+            Ok(v) => Ok(v),
+            Err(Fault) => {
+                // The retry lane's state is suspect too: drop it so the
+                // next failure starts from a fresh compile.
+                self.retry_lane = None;
+                Err(failed())
+            }
+        }
+    }
+}
+
+/// Marker for a caught lane fault (panic or wrong-length output).
+struct Fault;
+
+/// Runs one lane over one shard under [`catch_unwind`], validating the
+/// verdict count against the shard's record count — a panicking lane and
+/// a lane that returns the wrong number of verdicts are the same fault.
+fn run_lane<B: FilterBackend>(
+    lane: &mut B,
+    shard: &[u8],
+    limits: IngestLimits,
+) -> Result<Vec<Verdict>, Fault> {
+    let verdicts = catch_unwind(AssertUnwindSafe(|| {
+        lane.filter_stream_verdicts(shard, limits)
+    }))
+    .map_err(|_| Fault)?;
+    if verdicts.len() == split_records(shard).count() {
+        Ok(verdicts)
+    } else {
+        Err(Fault)
     }
 }
 

@@ -1,0 +1,104 @@
+//! Exit-code contract of the `verify` bin, plus the Display/source
+//! contract of the workspace error taxonomy the bin's consumers (CI
+//! scripts, ingest supervisors) match on.
+//!
+//! The bin's contract: exit 0 when no error-severity diagnostic fires,
+//! 1 when one does, 2 on usage errors. The error-taxonomy contract:
+//! `CompileError` / `RuntimeError` / `SkipReason` render stable,
+//! greppable messages and chain their sources.
+
+use rfjson_core::{CompileError, Expr};
+use rfjson_runtime::{IngestLimits, RuntimeError, ShardedRunner, SkipReason, Verdict};
+use std::error::Error;
+use std::process::Command;
+
+fn run_verify(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_verify"))
+        .args(args)
+        .output()
+        .expect("verify bin runs")
+}
+
+#[test]
+fn clean_queries_exit_zero() {
+    let out = run_verify(&[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "reports per-artifact verdicts");
+    assert!(!stdout.contains("FAIL"), "no error-severity diagnostics");
+}
+
+#[test]
+fn single_query_and_block_selection_exit_zero() {
+    let out = run_verify(&["--b", "1", "QT"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn unknown_query_is_a_usage_error() {
+    let out = run_verify(&["NO_SUCH_QUERY"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn malformed_block_list_is_a_usage_error() {
+    assert_eq!(run_verify(&["--b"]).status.code(), Some(2));
+    assert_eq!(run_verify(&["--b", "zero"]).status.code(), Some(2));
+    assert_eq!(run_verify(&["--b", ""]).status.code(), Some(2));
+}
+
+#[test]
+fn compile_error_contract() {
+    // The fallible construction path renders a stable message and
+    // chains the underlying expression error.
+    let err = ShardedRunner::<rfjson_core::Engine>::try_new(&Expr::And(vec![])).unwrap_err();
+    let CompileError::InvalidExpr(_) = &err else {
+        panic!("empty combinator is an InvalidExpr, got {err:?}");
+    };
+    assert!(err.to_string().starts_with("invalid expression:"));
+    assert!(err.source().is_some(), "source chains to ExprError");
+}
+
+#[test]
+fn runtime_error_contract() {
+    let err = RuntimeError::ShardFailed {
+        shard: 3,
+        records: 4..9,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("shard 3"), "{msg}");
+    assert!(msg.contains("4..9"), "{msg}");
+    assert!(err.source().is_none());
+    let wrapped = RuntimeError::from(CompileError::InvalidExpr(
+        Expr::Or(vec![]).validate().unwrap_err(),
+    ));
+    assert!(wrapped.to_string().starts_with("lane compilation failed:"));
+    assert!(wrapped.source().is_some(), "source chains to CompileError");
+}
+
+#[test]
+fn skip_reason_contract() {
+    // SkipReason rides inside Verdict::Skipped; its Display is what
+    // quarantine logs grep for.
+    let too_long = SkipReason::TooLong {
+        limit: 8,
+        actual: 20,
+    };
+    assert_eq!(too_long.to_string(), "record too long (20 bytes > limit 8)");
+    let budget = SkipReason::RecordLimit { limit: 5 };
+    assert_eq!(budget.to_string(), "record limit reached (max 5 records)");
+    assert_eq!(
+        Verdict::Skipped(budget).to_string(),
+        "skipped: record limit reached (max 5 records)"
+    );
+    // And the runner actually produces it under limits.
+    let mut runner =
+        ShardedRunner::<rfjson_core::Engine>::try_with_shards(&Expr::int_range(0, 9), 2).unwrap();
+    let verdicts = runner
+        .filter_stream_verdicts(b"{\"a\":1}\n{\"a\":2}\n", IngestLimits::max_records(1))
+        .unwrap();
+    assert_eq!(
+        verdicts[1],
+        Verdict::Skipped(SkipReason::RecordLimit { limit: 1 })
+    );
+}
