@@ -1,0 +1,107 @@
+//! Criterion: the SWAR word-at-a-time kernels against their byte-serial
+//! counterparts — the newline hop, the per-word classifier + string-mask
+//! resolution, literal containment, and the end-to-end engine block scan
+//! ([`Engine::on_block`]) versus the per-byte loop on the same stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfjson_core::engine::Engine;
+use rfjson_core::query::query_to_exprs;
+use rfjson_core::FilterBackend;
+use rfjson_jsonstream::swar::{
+    self, classify_word, load_word, string_mask_word, StringState, WORD_BYTES,
+};
+use rfjson_jsonstream::{classify, ByteClass, StringMask};
+use rfjson_riotbench::{smartcity_corpus, Query};
+use std::hint::black_box;
+
+fn swar_scan(c: &mut Criterion) {
+    let stream = smartcity_corpus(2000).stream();
+    let mut group = c.benchmark_group("swar_scan");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(15);
+
+    group.bench_function("newline_hop/byte", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            let mut rest = black_box(&stream[..]);
+            while let Some(p) = rest.iter().position(|&x| x == b'\n') {
+                n += 1;
+                rest = &rest[p + 1..];
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("newline_hop/swar", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            let mut rest = black_box(&stream[..]);
+            while let Some(p) = swar::find_byte(rest, b'\n') {
+                n += 1;
+                rest = &rest[p + 1..];
+            }
+            black_box(n)
+        });
+    });
+
+    group.bench_function("string_mask/byte", |b| {
+        b.iter(|| {
+            let mut mask = StringMask::new();
+            let mut acc = 0u32;
+            for &byte in black_box(&stream[..]) {
+                acc += u32::from(mask.on_byte(byte)) + u32::from(classify(byte) == ByteClass::Open);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("string_mask/swar", |b| {
+        b.iter(|| {
+            let mut state = StringState::default();
+            let mut acc = 0u32;
+            for chunk in black_box(&stream[..]).chunks_exact(WORD_BYTES) {
+                let m = classify_word(load_word(chunk.try_into().unwrap()));
+                let (masked, next) = string_mask_word(m.quotes, m.backslashes, state);
+                state = next;
+                acc += masked.count_ones() + (m.opens & !masked).count_ones();
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("contains/swar", |b| {
+        b.iter(|| black_box(swar::contains(black_box(&stream), b"airquality_raw")));
+    });
+
+    // End-to-end: the same compiled program through the byte-serial
+    // reference driver vs the record-at-a-time block driver.
+    let expr = query_to_exprs(&Query::qs0(), 1).unwrap();
+    let mut engine = Engine::compile(&expr);
+    assert!(engine.block_scan_ready());
+    let mut out = Vec::new();
+    group.bench_function("engine_qs0/byte", |b| {
+        b.iter(|| {
+            out.clear();
+            rfjson_core::backend::run_verdict_driver(
+                &mut engine,
+                black_box(&stream),
+                rfjson_core::IngestLimits::UNLIMITED,
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+    group.bench_function("engine_qs0/block", |b| {
+        b.iter(|| {
+            out.clear();
+            engine.filter_stream_verdicts_into(
+                black_box(&stream),
+                rfjson_core::IngestLimits::UNLIMITED,
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, swar_scan);
+criterion_main!(benches);

@@ -29,17 +29,21 @@ use rfjson_core::evaluator::CompiledFilter;
 use rfjson_core::expr::{Expr, StructScope};
 use rfjson_core::query::query_to_exprs;
 use rfjson_core::FilterBackend;
+use rfjson_jsonstream::frame::split_records;
 use rfjson_riotbench::{smartcity_corpus, taxi_corpus, twitter_corpus, Dataset, Query};
 use rfjson_runtime::ShardedRunner;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Schema identifier for `BENCH_*.json` consumers (v2 adds the sharded
-/// parallel runtime fields).
-const SCHEMA: &str = "rfjson-perf-trajectory/v2";
+/// Schema identifier for `BENCH_*.json` consumers (v3 adds the SWAR
+/// block-scan fields: `block_mbps` — the record-at-a-time
+/// [`Engine::on_block`] kernel with stream framing excluded — and
+/// `prefilter_hit_rate` — the fraction of records the literal prefilter
+/// proved NoMatch without a scan).
+const SCHEMA: &str = "rfjson-perf-trajectory/v3";
 /// Default `--pr` value: the PR that last reran the trajectory.
-const DEFAULT_PR: u32 = 3;
+const DEFAULT_PR: u32 = 8;
 
 struct WorkloadResult {
     name: String,
@@ -50,6 +54,8 @@ struct WorkloadResult {
     accepted: usize,
     model_mbps: f64,
     engine_mbps: f64,
+    block_mbps: f64,
+    prefilter_hit_rate: f64,
     parallel_mbps: f64,
     shards: usize,
 }
@@ -107,6 +113,15 @@ fn measure(
         std::process::exit(1);
     }
 
+    // Prefilter hit rate: fraction of records the literal prefilter
+    // proved NoMatch on the first (decision-checked) pass above.
+    let (checked, rejected) = engine.prefilter_stats();
+    let prefilter_hit_rate = if checked > 0 {
+        rejected as f64 / checked as f64
+    } else {
+        0.0
+    };
+
     let model_mbps = best_mbps(stream.len(), iters, || {
         black_box(model.filter_stream(black_box(&stream)));
     });
@@ -115,6 +130,18 @@ fn measure(
         out.clear();
         engine.filter_stream_into(black_box(&stream), &mut out);
         black_box(out.len());
+    });
+    // The block-scan kernel with framing excluded: records pre-split,
+    // one `on_block` + separator byte + reset per record.
+    let recs: Vec<&[u8]> = split_records(&stream).collect();
+    let block_mbps = best_mbps(stream.len(), iters, || {
+        let mut accepted = 0usize;
+        for r in &recs {
+            let last = engine.on_block(black_box(r));
+            accepted += usize::from(engine.on_byte(b'\n') || last);
+            engine.reset();
+        }
+        black_box(accepted);
     });
     let parallel_mbps = best_mbps(stream.len(), iters, || {
         out.clear();
@@ -131,6 +158,8 @@ fn measure(
         accepted: engine_decisions.iter().filter(|m| **m).count(),
         model_mbps,
         engine_mbps,
+        block_mbps,
+        prefilter_hit_rate,
         parallel_mbps,
         shards,
     }
@@ -166,6 +195,12 @@ fn to_json(pr: u32, quick: bool, threads: usize, results: &[WorkloadResult]) -> 
         let _ = writeln!(s, "      \"accepted\": {},", r.accepted);
         let _ = writeln!(s, "      \"model_mbps\": {:.3},", r.model_mbps);
         let _ = writeln!(s, "      \"engine_mbps\": {:.3},", r.engine_mbps);
+        let _ = writeln!(s, "      \"block_mbps\": {:.3},", r.block_mbps);
+        let _ = writeln!(
+            s,
+            "      \"prefilter_hit_rate\": {:.4},",
+            r.prefilter_hit_rate
+        );
         let _ = writeln!(s, "      \"speedup\": {:.3},", r.engine_speedup());
         let _ = writeln!(s, "      \"parallel_mbps\": {:.3},", r.parallel_mbps);
         let _ = writeln!(s, "      \"parallel_shards\": {},", r.shards);
@@ -232,7 +267,8 @@ fn main() {
             Expr::int_range(100, 50_000),
         ],
     );
-    let qt = query_to_exprs(&Query::qt(), 2).expect("query converts");
+    let qt_b1 = query_to_exprs(&Query::qt(), 1).expect("query converts");
+    let qt_b2 = query_to_exprs(&Query::qt(), 2).expect("query converts");
     let workloads: Vec<(&str, Expr, &Dataset, usize)> = vec![
         (
             "QS0",
@@ -246,9 +282,10 @@ fn main() {
             &smartcity,
             iters,
         ),
-        ("QT", qt.clone(), &taxi, iters),
+        ("QT", qt_b1, &taxi, iters),
+        ("QT-B2", qt_b2.clone(), &taxi, iters),
         ("QTW", qtw, &twitter, iters),
-        ("QT-XL", qt, &taxi_xl, xl_iters),
+        ("QT-XL", qt_b2, &taxi_xl, xl_iters),
     ];
 
     println!(
@@ -256,12 +293,14 @@ fn main() {
         if quick { " [quick]" } else { "" }
     );
     println!(
-        "{:<6} {:<10} {:>8} {:>12} {:>13} {:>9} {:>15} {:>10}",
+        "{:<6} {:<10} {:>8} {:>12} {:>13} {:>12} {:>8} {:>9} {:>15} {:>10}",
         "query",
         "dataset",
         "records",
         "model MB/s",
         "engine MB/s",
+        "block MB/s",
+        "prefilt",
         "speedup",
         "parallel MB/s",
         "par/eng"
@@ -270,12 +309,14 @@ fn main() {
     for (name, expr, dataset, w_iters) in &workloads {
         let r = measure(name, expr, dataset, *w_iters, shards);
         println!(
-            "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>8.2}x {:>15.1} {:>9.2}x",
+            "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>12.1} {:>7.1}% {:>8.2}x {:>15.1} {:>9.2}x",
             r.name,
             r.dataset,
             r.records,
             r.model_mbps,
             r.engine_mbps,
+            r.block_mbps,
+            r.prefilter_hit_rate * 100.0,
             r.engine_speedup(),
             r.parallel_mbps,
             r.parallel_speedup()

@@ -153,6 +153,24 @@ pub trait FilterBackend {
     /// signal.
     fn on_byte(&mut self, byte: u8) -> bool;
 
+    /// Advances a whole slice of record content at once; returns the
+    /// latched record-accept signal after the last byte (`false` for an
+    /// empty block — what a loop that never ran would leave behind).
+    ///
+    /// The default implementation is the plain byte loop, so every
+    /// backend gets the block API for free; backends with a faster bulk
+    /// path (the SWAR block-scan engine) override it. Decisions must be
+    /// identical to the byte loop — the differential suites drive every
+    /// backend through [`filter_stream_into`](FilterBackend::filter_stream_into),
+    /// which routes whole records through this method.
+    fn on_block(&mut self, block: &[u8]) -> bool {
+        let mut accept = false;
+        for &b in block {
+            accept = self.on_byte(b);
+        }
+        accept
+    }
+
     /// Record-boundary reset.
     fn reset(&mut self);
 
@@ -210,7 +228,7 @@ pub trait FilterBackend {
         limits: IngestLimits,
         out: &mut Vec<Verdict>,
     ) {
-        run_verdict_driver(self, stream, limits, out);
+        run_verdict_driver_blocks(self, stream, limits, out);
     }
 
     /// Quarantine-aware stream filtering, returning one [`Verdict`] per
@@ -223,10 +241,12 @@ pub trait FilterBackend {
     }
 }
 
-/// The canonical quarantine-aware stream driver behind the provided
-/// [`FilterBackend`] batch methods — public so wrappers that override
-/// the provided methods (e.g. fault-injection harnesses) can delegate to
-/// the exact default behaviour.
+/// The byte-serial reference form of the quarantine-aware stream driver —
+/// every byte goes through [`LimitedFramer`] and [`FilterBackend::on_byte`]
+/// individually. The provided batch methods now default to the
+/// decision-equivalent [`run_verdict_driver_blocks`]; this form remains
+/// public as the framing oracle and for wrappers that need per-byte
+/// interception (e.g. fault-injection harnesses).
 ///
 /// Every content byte of a non-quarantined record reaches
 /// [`FilterBackend::on_byte`] in stream order, followed by the `\n`
@@ -272,6 +292,82 @@ pub fn run_verdict_driver<B: FilterBackend + ?Sized>(
                 // would see.
                 accept = backend.on_byte(b'\n') || accept;
                 Verdict::from_decision(accept)
+            }
+        });
+        backend.reset();
+    }
+}
+
+/// Record-at-a-time driver behind the provided batch methods: hops from
+/// separator to separator with the SWAR newline search and hands each
+/// record's content to [`FilterBackend::on_block`] in one call, instead
+/// of framing byte-by-byte.
+///
+/// Decision-equivalent to [`run_verdict_driver`] for every backend:
+///
+/// * the bytes reaching the filter for a scored record are identical —
+///   the whole line (framing CR included, exactly what the byte-serial
+///   driver feeds) followed by the `\n` separator;
+/// * a **non-trailing** record's decision is the separator's return value
+///   alone (the byte-serial driver overwrites `accept` on the `\n`), so
+///   skipping the per-content-byte returns changes nothing;
+/// * the **trailing** record ORs the last content byte's latched signal
+///   (which [`FilterBackend::on_block`] returns) with the synthetic
+///   separator's, exactly like the byte-serial EOF close;
+/// * blank lines feed nothing and reset nothing — the lane is already at
+///   its reset state, which is where the byte-serial driver's explicit
+///   reset would put it;
+/// * quarantined records feed nothing; the byte-serial driver feeds some
+///   prefix of them, but its per-record reset erases that state before
+///   the next decision, so verdicts cannot differ.
+pub fn run_verdict_driver_blocks<B: FilterBackend + ?Sized>(
+    backend: &mut B,
+    stream: &[u8],
+    limits: IngestLimits,
+    out: &mut Vec<Verdict>,
+) {
+    use rfjson_jsonstream::frame::{is_blank_line, trim_cr};
+    use rfjson_jsonstream::swar;
+
+    backend.reset();
+    let mut records_seen = 0usize;
+    let mut rest = stream;
+    let mut trailing = false;
+    while !trailing {
+        let line = match swar::find_byte(rest, b'\n') {
+            Some(nl) => {
+                let line = &rest[..nl];
+                rest = &rest[nl + 1..];
+                line
+            }
+            None => {
+                trailing = true;
+                rest
+            }
+        };
+        if is_blank_line(line) {
+            continue; // no verdict, lane already at reset state
+        }
+        let content = trim_cr(line).len();
+        let index = records_seen;
+        records_seen += 1;
+        // Same quarantine rules and precedence as `LimitedFramer`.
+        let skip = match limits.max_records {
+            Some(m) if index >= m => Some(SkipReason::RecordLimit { limit: m }),
+            _ => match limits.max_record_bytes {
+                Some(m) if content > m => Some(SkipReason::TooLong {
+                    limit: m,
+                    actual: content,
+                }),
+                _ => None,
+            },
+        };
+        out.push(match skip {
+            Some(reason) => Verdict::Skipped(reason),
+            None => {
+                let last = backend.on_block(line);
+                let sep = backend.on_byte(b'\n');
+                Verdict::from_decision(if trailing { sep || last } else { sep })
             }
         });
         backend.reset();

@@ -34,7 +34,9 @@
 
 use crate::evaluator::StreamTracker;
 use crate::expr::{Expr, StringTechnique, StructScope};
+use crate::prefilter::Prefilter;
 use crate::primitive::{DfaStringMatcher, FireFilter, SubstringMatcher, WindowMatcher};
+use rfjson_jsonstream::swar;
 use rfjson_redfa::range::is_number_byte;
 use rfjson_redfa::DENSE_ACCEPT_BIT;
 
@@ -456,6 +458,92 @@ struct WideSub {
     node: u32,
 }
 
+/// The record-level literal prefilter plus its adaptive bookkeeping:
+/// `live` drops to `false` once a probation window of records rejects
+/// nothing, so unselective streams stop paying the scan.
+#[derive(Debug, Clone)]
+struct PrefilterState {
+    filter: Prefilter,
+    live: bool,
+    checked: u64,
+    rejected: u64,
+}
+
+/// The structural facts of one input byte, as the node program sees
+/// them: nesting depth plus whether the byte is an unmasked close or
+/// comma.
+#[derive(Debug, Clone, Copy)]
+struct ByteEvent {
+    depth: u32,
+    is_close: bool,
+    is_comma: bool,
+}
+
+/// One cycle of the node program for the one-word case (≤ 64 nodes),
+/// shared by the serial per-byte path and the block-scan fast path. `l`
+/// is the latch word with this cycle's primitive fires already ORed in;
+/// `p` is the pre-cycle latch snapshot (context pending-before checks).
+/// Returns the updated latch word.
+#[inline]
+fn run_program_word(
+    ops: &[Op],
+    masks: &[u64],
+    flag_level: &mut [u32],
+    mut l: u64,
+    p: u64,
+    ev: ByteEvent,
+) -> u64 {
+    let ByteEvent {
+        depth,
+        is_close,
+        is_comma,
+    } = ev;
+    for op in ops {
+        let m = masks[op.mask_off as usize];
+        match &op.kind {
+            OpKind::And => {
+                if l & m == m {
+                    l |= 1u64 << op.node;
+                }
+            }
+            OpKind::Or => {
+                if l & m != 0 {
+                    l |= 1u64 << op.node;
+                }
+            }
+            OpKind::Ctx {
+                clear_off,
+                ctx_id,
+                ctx_lo,
+                member,
+            } => {
+                let v = l & m;
+                let any = v != 0;
+                if !any && p & m == 0 {
+                    continue; // nothing pending, nothing fired
+                }
+                if p & m == 0 {
+                    flag_level[*ctx_id as usize] = depth;
+                }
+                if v == m {
+                    l |= 1u64 << op.node;
+                }
+                if any {
+                    let fl = flag_level[*ctx_id as usize];
+                    let end = (is_close && depth <= fl) || (*member && is_comma && depth == fl);
+                    if end {
+                        l &= !masks[*clear_off as usize];
+                        for fl in &mut flag_level[*ctx_lo as usize..*ctx_id as usize] {
+                            *fl = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    l
+}
+
 /// The flattened, allocation-free batch execution engine.
 ///
 /// Compile once, then stream any number of records through it; per-byte
@@ -522,7 +610,29 @@ pub struct Engine {
 
     wide_subs: Vec<WideSub>,
 
+    // ---- block-scan fast path (immutable after compile) ----
+    /// Whether [`Engine::on_block`] may take the SWAR word loop: one latch
+    /// word, no wide substring units, ≤ 8 single-byte substring units, and
+    /// run targets that fit the packed saturating counters.
+    block_ready: bool,
+    /// 256-entry packed hit table for the B = 1 substring units: entry
+    /// `b` holds `0xFF` in lane `i` iff byte `b` is in unit `i`'s
+    /// membership set. Empty unless `block_ready` with sub1 units.
+    sub1_hits: Vec<u64>,
+    /// Per-lane run targets of the sub1 units, packed one byte per lane
+    /// (unused lanes hold 127, unreachable by the saturating counters).
+    sub1_targets_packed: u64,
+    /// 256-bit last-byte bitmap per packed substring unit — a cheap gate
+    /// in front of the linear block-list search.
+    subp_gate: Vec<u64>,
+    /// Record-level literal prefilter (necessary-condition checks),
+    /// with its live/checked/rejected bookkeeping.
+    prefilter: Option<PrefilterState>,
+
     // ---- mutable per-stream state ----
+    /// No bytes fed since the last reset: the next `on_block` call sees a
+    /// whole record from the start, which is what the prefilter requires.
+    fresh: bool,
     latch: Vec<u64>,
     prev: Vec<u64>,
     flag_level: Vec<u32>,
@@ -719,6 +829,50 @@ impl Engine {
         };
         let root = b.visit(expr);
         debug_assert_eq!(b.next_node as usize, num_nodes);
+
+        // Block-scan eligibility and derived tables. The packed sub1
+        // counters saturate at 127, so targets must stay below that for
+        // "counter ≥ target" to keep its exact serial meaning.
+        let nsub1 = b.sub1_node.len();
+        let block_ready = words == 1
+            && b.wide_subs.is_empty()
+            && nsub1 <= 8
+            && b.sub1_target.iter().all(|&t| t <= 126);
+        let mut sub1_hits = Vec::new();
+        let mut sub1_targets_packed = 0u64;
+        let mut subp_gate = Vec::new();
+        if block_ready {
+            if nsub1 > 0 {
+                sub1_hits = vec![0u64; 256];
+                for (i, bitmap) in b.sub1_bitmap.chunks_exact(4).enumerate() {
+                    for (byte, hit) in sub1_hits.iter_mut().enumerate() {
+                        if bitmap[byte >> 6] & (1u64 << (byte & 63)) != 0 {
+                            *hit |= 0xffu64 << (8 * i);
+                        }
+                    }
+                }
+            }
+            for lane in 0..8usize {
+                let t = b.sub1_target.get(lane).copied().unwrap_or(127);
+                sub1_targets_packed |= u64::from(t) << (8 * lane);
+            }
+            subp_gate = vec![0u64; b.subp_node.len() * 4];
+            for i in 0..b.subp_node.len() {
+                let off = b.subp_blocks_off[i] as usize;
+                let len = b.subp_blocks_len[i] as usize;
+                for &blk in &b.subp_blocks[off..off + len] {
+                    let last = (blk & 0xff) as usize;
+                    subp_gate[i * 4 + (last >> 6)] |= 1u64 << (last & 63);
+                }
+            }
+        }
+        let prefilter = Prefilter::build(expr).map(|filter| PrefilterState {
+            filter,
+            live: true,
+            checked: 0,
+            rejected: 0,
+        });
+
         let engine = Engine {
             expr: expr.clone(),
             words,
@@ -749,6 +903,12 @@ impl Engine {
             subp_target: b.subp_target,
             subp_node: b.subp_node,
             wide_subs: b.wide_subs,
+            block_ready,
+            sub1_hits,
+            sub1_targets_packed,
+            subp_gate,
+            prefilter,
+            fresh: true,
             latch: vec![0; words],
             prev: vec![0; words],
             flag_level: vec![0; b.next_ctx as usize],
@@ -853,6 +1013,7 @@ impl Engine {
     /// [`CompiledFilter::on_byte`](crate::evaluator::CompiledFilter::on_byte).
     #[inline]
     pub fn on_byte(&mut self, byte: u8) -> bool {
+        self.fresh = false;
         let mut depth = 0u32;
         let mut is_close = false;
         let mut is_comma = false;
@@ -940,57 +1101,24 @@ impl Engine {
     /// Node program: post-order, so children are final before their
     /// parent evaluates; latch updates are bitwise mask ops. The
     /// one-word case (≤ 64 nodes — every realistic filter) keeps the
-    /// whole latch bitset in a register across the program. Returns the
-    /// root (record-accept) latch.
+    /// whole latch bitset in a register across the program
+    /// ([`run_program_word`], shared with the block-scan fast path).
+    /// Returns the root (record-accept) latch.
     #[inline]
     fn run_program(&mut self, depth: u32, is_close: bool, is_comma: bool) -> bool {
         if self.words == 1 {
-            let mut l = self.latch[0];
-            let p = self.prev[0];
-            for op in &self.ops {
-                let m = self.masks[op.mask_off as usize];
-                match &op.kind {
-                    OpKind::And => {
-                        if l & m == m {
-                            l |= 1u64 << op.node;
-                        }
-                    }
-                    OpKind::Or => {
-                        if l & m != 0 {
-                            l |= 1u64 << op.node;
-                        }
-                    }
-                    OpKind::Ctx {
-                        clear_off,
-                        ctx_id,
-                        ctx_lo,
-                        member,
-                    } => {
-                        let v = l & m;
-                        let any = v != 0;
-                        if !any && p & m == 0 {
-                            continue; // nothing pending, nothing fired
-                        }
-                        if p & m == 0 {
-                            self.flag_level[*ctx_id as usize] = depth;
-                        }
-                        if v == m {
-                            l |= 1u64 << op.node;
-                        }
-                        if any {
-                            let fl = self.flag_level[*ctx_id as usize];
-                            let end =
-                                (is_close && depth <= fl) || (*member && is_comma && depth == fl);
-                            if end {
-                                l &= !self.masks[*clear_off as usize];
-                                for fl in &mut self.flag_level[*ctx_lo as usize..*ctx_id as usize] {
-                                    *fl = 0;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            let l = run_program_word(
+                &self.ops,
+                &self.masks,
+                &mut self.flag_level,
+                self.latch[0],
+                self.prev[0],
+                ByteEvent {
+                    depth,
+                    is_close,
+                    is_comma,
+                },
+            );
             self.latch[0] = l;
             return l & (1u64 << self.root) != 0;
         }
@@ -1066,6 +1194,247 @@ impl Engine {
             ws.matcher.reset();
         }
         self.tracker.reset();
+        self.fresh = true;
+    }
+
+    /// Whether the compiled program qualifies for the SWAR block-scan
+    /// loop (one latch word, no wide substring units, packable sub1 run
+    /// targets). Ineligible programs still work through [`Engine::on_block`]
+    /// via the byte-serial fallback.
+    pub fn block_scan_ready(&self) -> bool {
+        self.block_ready
+    }
+
+    /// Records checked and rejected by the literal prefilter since
+    /// compile: `(checked, rejected)`.
+    pub fn prefilter_stats(&self) -> (u64, u64) {
+        self.prefilter
+            .as_ref()
+            .map_or((0, 0), |pf| (pf.checked, pf.rejected))
+    }
+
+    /// How many records the prefilter observes before deciding whether to
+    /// stay enabled.
+    const PREFILTER_PROBATION: u64 = 512;
+
+    /// Advances a whole slice of record content at once; returns the
+    /// latched record-accept signal after the last byte — exactly what a
+    /// byte loop over [`Engine::on_byte`] would return (and `false` for an
+    /// empty block, matching a loop that never ran).
+    ///
+    /// Two accelerations apply on top of the byte loop:
+    ///
+    /// * When the block is a whole record from a fresh reset, the literal
+    ///   prefilter may prove `NoMatch` without scanning (state untouched —
+    ///   a rejected record provably cannot latch the root, and any
+    ///   trailing separator byte fed serially reproduces the same `false`
+    ///   decision from the untouched state).
+    /// * Eligible programs ([`Engine::block_scan_ready`]) run the SWAR
+    ///   word loop: per-word classification and string-mask resolution,
+    ///   packed sub1 counters, gated packed-substring and number-DFA
+    ///   stepping, and the node program only on bytes where a fire signal
+    ///   or an unmasked close/comma makes it observable.
+    pub fn on_block(&mut self, block: &[u8]) -> bool {
+        let was_fresh = std::mem::replace(&mut self.fresh, false);
+        if was_fresh {
+            if let Some(pf) = self.prefilter.as_mut().filter(|pf| pf.live) {
+                pf.checked += 1;
+                let rejected = pf.filter.rejects(block);
+                if rejected {
+                    pf.rejected += 1;
+                }
+                if pf.checked == Self::PREFILTER_PROBATION && pf.rejected == 0 {
+                    // The stream never benefits; stop paying the scan.
+                    pf.live = false;
+                }
+                if rejected {
+                    return false;
+                }
+            }
+        }
+        if self.block_ready {
+            self.on_block_swar(block);
+        } else {
+            for &b in block {
+                self.on_byte(b);
+            }
+        }
+        Self::bit(&self.latch, self.root)
+    }
+
+    /// The SWAR word loop behind [`Engine::on_block`]. Scalar per-unit
+    /// state is synced into packed registers on entry and back out before
+    /// the byte-serial tail runs, so interleaving `on_block` and `on_byte`
+    /// calls stays decision-identical to the pure byte loop.
+    fn on_block_swar(&mut self, block: &[u8]) {
+        const LANE_LO: u64 = 0x0101_0101_0101_0101;
+        const LANE_HI: u64 = 0x8080_8080_8080_8080;
+        let (mut in_string, mut pending_escape, mut depth) = self.tracker.state();
+        let mut l = self.latch[0];
+        let nsub1 = self.sub1_node.len();
+        // Saturate the sub1 run counters into one byte per lane. Targets
+        // are ≤ 126 and counters only grow within a run, so clamping at
+        // 127 preserves every `counter ≥ target` comparison.
+        let mut c1 = 0u64;
+        for i in 0..nsub1 {
+            c1 |= u64::from(self.sub1_counter[i].min(127)) << (8 * i);
+        }
+        // All number units share one token trajectory (`is_number_byte`
+        // does not depend on the unit), so a single flag suffices.
+        let mut in_token = self.num_in_token.first().is_some_and(|&t| t);
+        // The packed windows are the same shift register under nested
+        // masks; OR-ing them reconstructs the widest (full) window.
+        let mut win64 = 0u64;
+        for w in &self.subp_win {
+            win64 |= w;
+        }
+        let nsubp = self.subp_node.len();
+        let has_ctx = self.has_ctx;
+
+        let mut chunks = block.chunks_exact(swar::WORD_BYTES);
+        for chunk in chunks.by_ref() {
+            let word = swar::load_word(chunk.try_into().expect("8-byte chunk"));
+            // Context-free programs never read the structural facts; skip
+            // the classifier exactly like the serial path skips the
+            // tracker.
+            let (wm, masked) = if has_ctx {
+                let wm = swar::classify_word(word);
+                let (masked, next) = swar::string_mask_word(
+                    wm.quotes,
+                    wm.backslashes,
+                    swar::StringState {
+                        in_string,
+                        pending_escape,
+                    },
+                );
+                in_string = next.in_string;
+                pending_escape = next.pending_escape;
+                (wm, masked)
+            } else {
+                (swar::WordMasks::default(), 0)
+            };
+            let structural = (wm.opens | wm.closes | wm.commas) & !masked;
+
+            for (j, &byte) in chunk.iter().enumerate() {
+                let mut fires = 0u64;
+                if nsub1 != 0 {
+                    let h = self.sub1_hits[byte as usize];
+                    // Hit lanes count up (saturating at 127), miss lanes
+                    // reset — the packed form of the serial run counter.
+                    let mut c = (c1 & h) + (LANE_LO & h);
+                    c -= (c & LANE_HI) >> 7;
+                    c1 = c;
+                    // Lane fires iff counter ≥ target; targets ≤ 127 keep
+                    // the per-lane subtraction borrow-free.
+                    let mut f = ((c | LANE_HI) - self.sub1_targets_packed) & LANE_HI;
+                    while f != 0 {
+                        let lane = f.trailing_zeros() as usize / 8;
+                        f &= f - 1;
+                        fires |= 1u64 << self.sub1_node[lane];
+                    }
+                }
+                if nsubp != 0 {
+                    win64 = (win64 << 8) | u64::from(byte);
+                    for i in 0..nsubp {
+                        let gate = self.subp_gate[i * 4 + (byte >> 6) as usize]
+                            & (1u64 << (byte & 63))
+                            != 0;
+                        let hit = gate && {
+                            let w = win64 & self.subp_win_mask[i];
+                            let off = self.subp_blocks_off[i] as usize;
+                            let len = self.subp_blocks_len[i] as usize;
+                            self.subp_blocks[off..off + len].contains(&w)
+                        };
+                        let c = if hit {
+                            self.subp_counter[i].saturating_add(1)
+                        } else {
+                            0
+                        };
+                        self.subp_counter[i] = c;
+                        if c >= self.subp_target[i] {
+                            fires |= 1u64 << self.subp_node[i];
+                        }
+                    }
+                }
+                if is_number_byte(byte) {
+                    for i in 0..self.num_state.len() {
+                        let s = self.num_state[i];
+                        self.num_state[i] = self.tables[self.num_off[i] as usize
+                            + (s & STATE_MASK) as usize * 256
+                            + byte as usize];
+                    }
+                    in_token = true;
+                } else if in_token {
+                    for i in 0..self.num_state.len() {
+                        if self.num_state[i] & DENSE_ACCEPT_BIT != 0 {
+                            fires |= 1u64 << self.num_node[i];
+                        }
+                        self.num_state[i] = self.num_start[i];
+                    }
+                    in_token = false;
+                }
+                for i in 0..self.sdfa_state.len() {
+                    let s = self.sdfa_state[i];
+                    let s = self.tables[self.sdfa_off[i] as usize
+                        + (s & STATE_MASK) as usize * 256
+                        + byte as usize];
+                    self.sdfa_state[i] = s;
+                    if s & DENSE_ACCEPT_BIT != 0 {
+                        fires |= 1u64 << self.sdfa_node[i];
+                    }
+                }
+
+                let bit = 1u8 << j;
+                let mut is_close = false;
+                let mut is_comma = false;
+                if structural & bit != 0 {
+                    if wm.opens & bit != 0 {
+                        depth += 1;
+                    } else if wm.closes & bit != 0 {
+                        is_close = true;
+                    } else {
+                        is_comma = true;
+                    }
+                }
+                // The node program is a provable no-op on bytes with no
+                // fire signal and no unmasked close/comma: And/Or latches
+                // are closed under no new inputs, and the Ctx arm's
+                // early-out covers the rest. Run it only when observable.
+                if fires != 0 || is_close || is_comma {
+                    let p = l;
+                    l = run_program_word(
+                        &self.ops,
+                        &self.masks,
+                        &mut self.flag_level,
+                        l | fires,
+                        p,
+                        ByteEvent {
+                            depth,
+                            is_close,
+                            is_comma,
+                        },
+                    );
+                }
+                if is_close {
+                    depth = depth.saturating_sub(1);
+                }
+            }
+        }
+
+        // Sync packed state back out, then run the sub-word tail through
+        // the byte-serial path from the synced state.
+        self.latch[0] = l;
+        for i in 0..nsub1 {
+            self.sub1_counter[i] = ((c1 >> (8 * i)) & 0xff) as u32;
+        }
+        for i in 0..nsubp {
+            self.subp_win[i] = win64 & self.subp_win_mask[i];
+        }
+        self.num_in_token.fill(in_token);
+        self.tracker.restore(in_string, pending_escape, depth);
+        for &byte in chunks.remainder() {
+            self.on_byte(byte);
+        }
     }
 }
 
@@ -1085,6 +1454,11 @@ impl crate::backend::FilterBackend for Engine {
     #[inline]
     fn on_byte(&mut self, byte: u8) -> bool {
         Engine::on_byte(self, byte)
+    }
+
+    #[inline]
+    fn on_block(&mut self, block: &[u8]) -> bool {
+        Engine::on_block(self, block)
     }
 
     fn reset(&mut self) {
@@ -1209,6 +1583,92 @@ mod tests {
             .check()
             .iter()
             .any(|f| matches!(f, ProgramFault::BadRoot { .. })));
+    }
+
+    #[test]
+    fn block_scan_eligibility() {
+        assert!(Engine::compile(&ctx_temp()).block_scan_ready());
+        // Wide substring units (B > 8) fall back to the byte loop.
+        let wide = Expr::substring(b"favourites_count", 9).unwrap();
+        assert!(!Engine::compile(&wide).block_scan_ready());
+        // Multi-word latch bitsets fall back too.
+        let leaves: Vec<Expr> = (0..70).map(|i| Expr::int_range(i, i + 1)).collect();
+        assert!(!Engine::compile(&Expr::Or(leaves)).block_scan_ready());
+    }
+
+    #[test]
+    fn on_block_matches_byte_loop_paths() {
+        // Both eligible and fallback programs, records straddling word
+        // boundaries, strings with escapes and structural bytes.
+        let exprs = [
+            ctx_temp(),
+            Expr::substring(b"favourites_count", 9).unwrap(),
+            Expr::context_scoped(
+                StructScope::Member,
+                [
+                    Expr::substring(b"tolls_amount", 2).unwrap(),
+                    Expr::float_range("2.50", "18.00").unwrap(),
+                ],
+            ),
+        ];
+        let records: Vec<&[u8]> = vec![
+            LISTING1,
+            br#"{"e":[{"v":"21.4","u":"far","n":"temperature"}],"bt":1}"#,
+            br#"{"fare_amount":11.50,"tolls_amount":5.33,"total_amount":17.33}"#,
+            br#"{"k":"a\"}b","tolls_amount":3.00}"#,
+            b"{}",
+            b"",
+        ];
+        for expr in &exprs {
+            for record in &records {
+                let mut serial = Engine::compile(expr);
+                serial.reset();
+                let mut want = false;
+                for &b in *record {
+                    want = serial.on_byte(b);
+                }
+                let want = serial.on_byte(b'\n') || want;
+
+                let mut block = Engine::compile(expr);
+                block.reset();
+                let last = block.on_block(record);
+                let got = block.on_byte(b'\n') || last;
+                assert_eq!(got, want, "expr `{expr}` on {record:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_rejects_and_reports_stats() {
+        let mut e = Engine::compile(&ctx_temp());
+        assert!(!e.accepts_record(br#"{"nothing":"here"}"#));
+        assert!(e.accepts_record(br#"{"e":[{"v":"21.4","n":"temperature"}],"bt":1}"#));
+        let (checked, rejected) = e.prefilter_stats();
+        assert_eq!(checked, 0, "accepts_record is byte-serial, no prefilter");
+        assert_eq!(rejected, 0);
+
+        // The stream path feeds whole records through on_block.
+        let stream =
+            b"{\"nothing\":1}\n{\"e\":[{\"v\":\"21.4\",\"n\":\"temperature\"}],\"bt\":1}\n";
+        assert_eq!(e.filter_stream(stream), vec![false, true]);
+        let (checked, rejected) = e.prefilter_stats();
+        assert_eq!(checked, 2);
+        assert_eq!(rejected, 1, "the needle-free record is proven NoMatch");
+    }
+
+    #[test]
+    fn prefilter_disables_on_unselective_streams() {
+        let mut e = Engine::compile(&Expr::substring(b"a", 1).unwrap());
+        let hit = b"{\"a\":1}\n".repeat(Engine::PREFILTER_PROBATION as usize + 10);
+        let n = e.filter_stream(&hit).len();
+        assert_eq!(n, Engine::PREFILTER_PROBATION as usize + 10);
+        let (checked, rejected) = e.prefilter_stats();
+        assert_eq!(rejected, 0);
+        assert_eq!(
+            checked,
+            Engine::PREFILTER_PROBATION,
+            "prefilter stops paying for itself after probation"
+        );
     }
 
     #[test]

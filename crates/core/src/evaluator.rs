@@ -81,6 +81,25 @@ impl StreamTracker {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Snapshot of the structural state `(in_string, pending_escape,
+    /// depth)` — the hand-off point for the engine's SWAR block path,
+    /// which resolves whole words of the string mask at once and
+    /// re-syncs the byte-serial tracker at word boundaries.
+    pub(crate) fn state(&self) -> (bool, bool, u32) {
+        (
+            self.mask.in_string(),
+            self.mask.pending_escape(),
+            self.depth,
+        )
+    }
+
+    /// Restores a snapshot taken (or advanced word-at-a-time) by the
+    /// block path.
+    pub(crate) fn restore(&mut self, in_string: bool, pending_escape: bool, depth: u32) {
+        self.mask.restore(in_string, pending_escape);
+        self.depth = depth;
+    }
 }
 
 #[derive(Debug, Clone)]

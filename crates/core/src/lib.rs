@@ -77,6 +77,7 @@ pub mod engine;
 pub mod eval;
 pub mod evaluator;
 pub mod expr;
+mod prefilter;
 pub mod primitive;
 pub mod query;
 

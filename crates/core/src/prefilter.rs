@@ -1,0 +1,169 @@
+//! Record-level literal prefilter for the block-scan fast path.
+//!
+//! Before the engine scans a whole record byte-by-byte, a much cheaper
+//! **necessary-condition** check can prove many records `NoMatch` outright:
+//! if the filter's root can only latch when some string unit fires, and
+//! that unit provably cannot fire anywhere in the record, the record's
+//! decision is `false` without running the flat program at all.
+//!
+//! Soundness is the whole game here — a raw filter must never produce a
+//! false negative beyond what the compiled expression itself produces, so
+//! every test in this module is a *necessary* condition for acceptance:
+//!
+//! * **Required units.** A string unit is *required* iff every path from
+//!   the root to a latch of the root passes through it: `And` and `Ctx`
+//!   nodes require **all** children (a context can only latch when every
+//!   child has fired), so their children are collected; `Or` nodes require
+//!   none of theirs (any child suffices), so descent stops. If a required
+//!   unit never fires during a record, the root latch provably stays low.
+//! * **Exact units** (DFA and window matchers) fire only when the stream
+//!   ends with the needle, so the needle occurring in the record is a
+//!   necessary condition — checked with the SWAR [`swar::contains`] scan.
+//! * **Substring units** (technique iii) are approximate: they fire on a
+//!   run of matching blocks, which a *different* literal can also produce
+//!   (`s1("tolls_amount")` fires inside `"total_amount"`). Containment of
+//!   the needle is therefore **not** necessary. What *is* necessary is
+//!   that the unit's own state machine, run structure-free over the
+//!   record, fires somewhere — the engine's unit sees exactly the same
+//!   bytes from the same reset state, so "free run never fires" implies
+//!   "engine unit never fires".
+//! * **Separator bytes.** The engine additionally sees the record
+//!   separator `\n` after the content. A needle containing `\n` could
+//!   first fire on that byte, so such units are excluded from the
+//!   prefilter entirely. (`\n`-free needles cannot fire on the separator:
+//!   for exact units the suffix can't match, and for substring units the
+//!   separator is a non-member byte that resets the run counter.)
+
+use crate::expr::{Expr, StringSpec, StringTechnique};
+use crate::primitive::{FireFilter, SubstringMatcher};
+use rfjson_jsonstream::swar;
+
+/// Compiled necessary-condition checks for one expression. Built at
+/// engine-compile time; [`Prefilter::rejects`] runs per record.
+#[derive(Debug, Clone)]
+pub(crate) struct Prefilter {
+    /// Needles of exact (DFA / window) required units: containment in the
+    /// record is necessary for the unit to fire.
+    exacts: Vec<Vec<u8>>,
+    /// Required substring units, re-run structure-free per record; the
+    /// free run firing somewhere is necessary for the engine unit to fire.
+    subs: Vec<SubstringMatcher>,
+}
+
+impl Prefilter {
+    /// Extracts the required-unit checks from an expression. Returns
+    /// `None` when no usable check exists (e.g. the root is an `Or`, the
+    /// filter is purely numeric, or every needle contains `\n`).
+    pub(crate) fn build(expr: &Expr) -> Option<Prefilter> {
+        let mut specs: Vec<&StringSpec> = Vec::new();
+        collect_required(expr, &mut specs);
+        let mut exacts = Vec::new();
+        let mut subs = Vec::new();
+        for spec in specs {
+            if spec.needle.contains(&b'\n') {
+                continue; // could first fire on the record separator
+            }
+            match spec.technique {
+                StringTechnique::Dfa | StringTechnique::Window => {
+                    exacts.push(spec.needle.clone());
+                }
+                StringTechnique::Substring(b) => {
+                    if let Ok(m) = SubstringMatcher::new(&spec.needle, b) {
+                        subs.push(m);
+                    }
+                }
+            }
+        }
+        if exacts.is_empty() && subs.is_empty() {
+            None
+        } else {
+            Some(Prefilter { exacts, subs })
+        }
+    }
+
+    /// `true` iff the record provably cannot be accepted: some required
+    /// unit cannot fire anywhere in it. Cheap checks (SWAR containment)
+    /// run first so unselective streams bail out early.
+    pub(crate) fn rejects(&mut self, record: &[u8]) -> bool {
+        for needle in &self.exacts {
+            if !swar::contains(record, needle) {
+                return true;
+            }
+        }
+        for m in &mut self.subs {
+            m.reset();
+            if !record.iter().any(|&b| m.on_byte(b)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Collects the string units every accepting record must fire: descend
+/// through `And`/`Ctx` (all children required), stop at `Or` (none
+/// individually required) and at numeric leaves.
+fn collect_required<'e>(expr: &'e Expr, out: &mut Vec<&'e StringSpec>) {
+    match expr {
+        Expr::Str(spec) => out.push(spec),
+        Expr::Num(_) | Expr::Or(_) => {}
+        Expr::And(cs) | Expr::Ctx(cs, _) => {
+            for c in cs {
+                collect_required(c, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::StructScope;
+
+    #[test]
+    fn or_roots_and_numeric_filters_have_no_prefilter() {
+        assert!(Prefilter::build(&Expr::int_range(1, 5)).is_none());
+        let either = Expr::or([
+            Expr::substring(b"alpha", 1).unwrap(),
+            Expr::substring(b"beta", 1).unwrap(),
+        ]);
+        assert!(Prefilter::build(&either).is_none());
+    }
+
+    #[test]
+    fn required_units_cross_and_and_ctx() {
+        let expr = Expr::and([
+            Expr::dfa_string(b"temperature").unwrap(),
+            Expr::context_scoped(
+                StructScope::Object,
+                [
+                    Expr::substring(b"humidity", 2).unwrap(),
+                    Expr::int_range(0, 100),
+                ],
+            ),
+        ]);
+        let mut pf = Prefilter::build(&expr).expect("two required string units");
+        assert!(!pf.rejects(br#"{"temperature":1,"humidity":40}"#));
+        assert!(pf.rejects(br#"{"temperature":1,"pressure":40}"#));
+        assert!(pf.rejects(br#"{"humidity":40}"#));
+    }
+
+    #[test]
+    fn approximate_substring_fires_block_rejection_only_when_sound() {
+        // s1("tolls_amount") also fires inside "total_amount" (same letter
+        // set); the prefilter must keep such records.
+        let expr = Expr::substring(b"tolls_amount", 1).unwrap();
+        let mut pf = Prefilter::build(&expr).expect("one required unit");
+        assert!(!pf.rejects(br#"{"total_amounts":0}"#));
+        assert!(pf.rejects(br#"{"fare":11.5}"#));
+    }
+
+    #[test]
+    fn newline_needles_are_excluded() {
+        let spec = Expr::Str(crate::expr::StringSpec {
+            needle: b"a\nb".to_vec(),
+            technique: StringTechnique::Dfa,
+        });
+        assert!(Prefilter::build(&spec).is_none());
+    }
+}

@@ -24,6 +24,7 @@
 //! record boundaries for the parallel runtime. Their equivalence is held
 //! by the cross-impl tests in the root crate (`tests/framing_equiv.rs`).
 
+use crate::swar;
 use core::fmt;
 use core::ops::Range;
 
@@ -167,16 +168,32 @@ impl FrameAssembler {
     }
 
     /// Consumes a chunk, invoking `sink` for every completed record.
+    ///
+    /// Hops from separator to separator with the SWAR newline search
+    /// ([`swar::find_byte`]) instead of framing byte-by-byte; the
+    /// byte-serial [`ChunkFramer`] state is kept in sync so the framing
+    /// semantics are unchanged (held by `tests/framing_equiv.rs`).
     pub fn push_chunk(&mut self, chunk: &[u8], mut sink: impl FnMut(&[u8])) {
-        for &b in chunk {
-            match self.framer.on_byte(b) {
-                FrameAction::Feed => self.pending.push(b),
-                FrameAction::EndRecord => {
-                    sink(trim_cr(&self.pending));
-                    self.pending.clear();
-                }
-                FrameAction::EndBlank => self.pending.clear(),
+        let mut rest = chunk;
+        while let Some(nl) = swar::find_byte(rest, b'\n') {
+            let (line_part, tail) = rest.split_at(nl);
+            self.pending.extend_from_slice(line_part);
+            // saw_content == "the pending line is not blank", restated
+            // at slice level: any non-CR byte makes the line a record.
+            if is_blank_line(&self.pending) {
+                self.pending.clear();
+            } else {
+                sink(trim_cr(&self.pending));
+                self.pending.clear();
             }
+            self.framer.reset();
+            rest = &tail[1..];
+        }
+        self.pending.extend_from_slice(rest);
+        if !is_blank_line(&self.pending) {
+            // Keep the byte-serial framer state equivalent for
+            // `finish`/`has_open_record` observers.
+            self.framer.on_byte(b'x');
         }
     }
 
@@ -534,8 +551,9 @@ pub fn shard_ranges(stream: &[u8], shards: usize) -> Vec<Range<usize>> {
             continue;
         }
         // Cut right after the first separator at or beyond the ideal
-        // point (the separator byte stays in the left shard).
-        match stream[ideal..].iter().position(|&b| b == b'\n') {
+        // point (the separator byte stays in the left shard); the
+        // search hops 8 bytes per step (SWAR newline mask).
+        match swar::find_byte(&stream[ideal..], b'\n') {
             Some(p) => {
                 let cut = ideal + p + 1;
                 if cut > start && cut < stream.len() {

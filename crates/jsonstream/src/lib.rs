@@ -24,6 +24,7 @@ pub mod frame;
 pub mod mask;
 pub mod nesting;
 pub mod parser;
+pub mod swar;
 pub mod value;
 pub mod write;
 

@@ -62,6 +62,24 @@ impl StringMask {
         self.in_string
     }
 
+    /// Is the next byte escaped by a preceding `\`? (Only ever `true`
+    /// inside a string literal.)
+    pub fn pending_escape(&self) -> bool {
+        self.escaped
+    }
+
+    /// Restores the tracker to an explicit state — the hand-off point
+    /// for block-scan paths ([`crate::swar`]) that resolve whole words
+    /// of the automaton at once and then re-sync the byte-serial
+    /// tracker at a word boundary.
+    ///
+    /// `pending_escape` without `in_string` is not a reachable state of
+    /// the automaton (escapes only pend inside strings) and is ignored.
+    pub fn restore(&mut self, in_string: bool, pending_escape: bool) {
+        self.in_string = in_string;
+        self.escaped = pending_escape && in_string;
+    }
+
     /// Returns to the initial state (record boundary).
     pub fn reset(&mut self) {
         *self = Self::default();

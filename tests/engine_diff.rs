@@ -32,6 +32,39 @@ fn assert_bytewise(expr: &Expr, record: &[u8]) {
     }
 }
 
+/// Feeds the record through [`Engine::on_block`] — whole, and split at
+/// several points into a byte-serial prefix plus a block remainder (the
+/// packed-state sync-in/sync-out seams) — and asserts the record decision
+/// matches the byte-serial model.
+fn assert_blockwise(expr: &Expr, record: &[u8]) {
+    let mut model = CompiledFilter::compile(expr);
+    let want = model.accepts_record(record);
+    let mut engine = Engine::compile(expr);
+    let mut splits = vec![0, record.len()];
+    for s in [1, 7, 8, 9, 15, 16, record.len() / 2] {
+        if s <= record.len() {
+            splits.push(s);
+        }
+    }
+    for split in splits {
+        engine.reset();
+        let mut last = false;
+        for &b in &record[..split] {
+            last = engine.on_byte(b);
+        }
+        if split < record.len() {
+            last = engine.on_block(&record[split..]);
+        }
+        let got = engine.on_byte(b'\n') || last;
+        assert_eq!(
+            got,
+            want,
+            "expr `{expr}` block path (split {split}) diverges on {:?}",
+            String::from_utf8_lossy(record)
+        );
+    }
+}
+
 /// Expressions covering every primitive technique, every combinator,
 /// both structural scopes, and nesting of contexts.
 fn expression_zoo() -> Vec<Expr> {
@@ -87,6 +120,7 @@ fn engine_equals_model_on_generated_corpora() {
         for ds in &datasets {
             for record in ds.records() {
                 assert_bytewise(&expr, record);
+                assert_blockwise(&expr, record);
             }
         }
     }
@@ -119,6 +153,7 @@ fn engine_equals_model_on_adversarial_inputs() {
     for expr in expression_zoo() {
         for record in &records {
             assert_bytewise(&expr, record);
+            assert_blockwise(&expr, record);
         }
     }
 }
@@ -169,6 +204,7 @@ proptest! {
         let expr = &zoo[expr_idx % zoo.len()];
         for record in ds.records() {
             assert_bytewise(expr, record);
+            assert_blockwise(expr, record);
         }
     }
 
@@ -205,6 +241,7 @@ proptest! {
         ];
         for expr in &exprs {
             assert_bytewise(expr, &soup);
+            assert_blockwise(expr, &soup);
         }
     }
 }
