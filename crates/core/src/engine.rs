@@ -421,7 +421,7 @@ impl ProgramView {
 }
 
 #[derive(Debug, Clone)]
-enum OpKind {
+pub(crate) enum OpKind {
     And,
     Or,
     Ctx {
@@ -441,21 +441,46 @@ enum OpKind {
 /// no op: their fire bits are ORed into the latch bitset during the
 /// primitive sweep, before the program runs.
 #[derive(Debug, Clone)]
-struct Op {
+pub(crate) struct Op {
     /// Bit index of this node in the latch bitset.
-    node: u32,
+    pub(crate) node: u32,
     /// Mask offset of the direct-children mask.
-    mask_off: u32,
-    kind: OpKind,
+    pub(crate) mask_off: u32,
+    pub(crate) kind: OpKind,
+}
+
+impl Op {
+    /// The public verification-facing mirror of this op.
+    pub(crate) fn view(&self) -> OpView {
+        OpView {
+            node: self.node,
+            mask_off: self.mask_off,
+            kind: match &self.kind {
+                OpKind::And => OpKindView::And,
+                OpKind::Or => OpKindView::Or,
+                OpKind::Ctx {
+                    clear_off,
+                    ctx_id,
+                    ctx_lo,
+                    member,
+                } => OpKindView::Ctx {
+                    clear_off: *clear_off,
+                    ctx_id: *ctx_id,
+                    ctx_lo: *ctx_lo,
+                    member: *member,
+                },
+            },
+        }
+    }
 }
 
 /// A rare substring matcher with a block length beyond the packed-`u64`
 /// window (B > 8); the reference primitive is stepped directly (concrete
 /// type, no dispatch) in the same flat loop.
 #[derive(Debug, Clone)]
-struct WideSub {
-    matcher: SubstringMatcher,
-    node: u32,
+pub(crate) struct WideSub {
+    pub(crate) matcher: SubstringMatcher,
+    pub(crate) node: u32,
 }
 
 /// The record-level literal prefilter plus its adaptive bookkeeping:
@@ -469,14 +494,48 @@ struct PrefilterState {
     rejected: u64,
 }
 
+/// Adaptive status of the record-level literal prefilter, as reported by
+/// [`Engine::prefilter_status`]. A zero hit rate in the benchmark output
+/// is only meaningful together with this state: `Disabled` means the
+/// stream proved unselective during probation (every record contains the
+/// required literals, so the scan can never reject — the RiotBench range
+/// queries are all in this class) and the engine stopped paying for the
+/// scan, not that the prefilter is broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefilterStatus {
+    /// The expression yields no usable necessary-condition literal set
+    /// (e.g. the root is a disjunction), so no prefilter was built.
+    Absent,
+    /// Active, still inside the probation window of
+    /// [`Engine::PREFILTER_PROBATION`] records.
+    Probation,
+    /// Active past probation: the scan rejected records and keeps
+    /// earning its keep.
+    Live,
+    /// Self-disabled: a full probation window rejected nothing, so the
+    /// scan is skipped from then on.
+    Disabled,
+}
+
+impl std::fmt::Display for PrefilterStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PrefilterStatus::Absent => "absent",
+            PrefilterStatus::Probation => "probation",
+            PrefilterStatus::Live => "live",
+            PrefilterStatus::Disabled => "disabled",
+        })
+    }
+}
+
 /// The structural facts of one input byte, as the node program sees
 /// them: nesting depth plus whether the byte is an unmasked close or
 /// comma.
 #[derive(Debug, Clone, Copy)]
-struct ByteEvent {
-    depth: u32,
-    is_close: bool,
-    is_comma: bool,
+pub(crate) struct ByteEvent {
+    pub(crate) depth: u32,
+    pub(crate) is_close: bool,
+    pub(crate) is_comma: bool,
 }
 
 /// One cycle of the node program for the one-word case (≤ 64 nodes),
@@ -485,7 +544,7 @@ struct ByteEvent {
 /// `p` is the pre-cycle latch snapshot (context pending-before checks).
 /// Returns the updated latch word.
 #[inline]
-fn run_program_word(
+pub(crate) fn run_program_word(
     ops: &[Op],
     masks: &[u64],
     flag_level: &mut [u32],
@@ -542,6 +601,79 @@ fn run_program_word(
         }
     }
     l
+}
+
+/// One cycle of the node program for multi-word latch bitsets (> 64
+/// nodes), shared by [`Engine`] and the fused multi-query lanes. `latch`
+/// already holds this cycle's primitive fires; `prev` is the pre-cycle
+/// snapshot the context pending-before checks read.
+pub(crate) fn run_program_multi(
+    ops: &[Op],
+    masks: &[u64],
+    words: usize,
+    latch: &mut [u64],
+    prev: &[u64],
+    flag_level: &mut [u32],
+    ev: ByteEvent,
+) {
+    let set_bit = |v: &mut [u64], i: u32| {
+        v[i as usize / 64] |= 1u64 << (i % 64);
+    };
+    for op in ops {
+        let mask = &masks[op.mask_off as usize..op.mask_off as usize + words];
+        match &op.kind {
+            OpKind::And => {
+                let all = mask.iter().zip(latch.iter()).all(|(m, l)| l & m == *m);
+                if all {
+                    set_bit(latch, op.node);
+                }
+            }
+            OpKind::Or => {
+                let any = mask.iter().zip(latch.iter()).any(|(m, l)| l & m != 0);
+                if any {
+                    set_bit(latch, op.node);
+                }
+            }
+            OpKind::Ctx {
+                clear_off,
+                ctx_id,
+                ctx_lo,
+                member,
+            } => {
+                let mut any = false;
+                let mut all = true;
+                let mut pending_before = false;
+                for (w, m) in mask.iter().enumerate() {
+                    let v = latch[w] & m;
+                    any |= v != 0;
+                    all &= v == *m;
+                    pending_before |= prev[w] & m != 0;
+                }
+                // First fire of a fresh instance records the level.
+                if !pending_before && any {
+                    flag_level[*ctx_id as usize] = ev.depth;
+                }
+                if all {
+                    set_bit(latch, op.node);
+                }
+                // Instance end: clear pending descendant latches.
+                if any {
+                    let fl = flag_level[*ctx_id as usize];
+                    let end = (ev.is_close && ev.depth <= fl)
+                        || (*member && ev.is_comma && ev.depth == fl);
+                    if end {
+                        let clear = &masks[*clear_off as usize..*clear_off as usize + words];
+                        for (l, c) in latch.iter_mut().zip(clear) {
+                            *l &= !c;
+                        }
+                        for fl in &mut flag_level[*ctx_lo as usize..*ctx_id as usize] {
+                            *fl = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The flattened, allocation-free batch execution engine.
@@ -645,31 +777,33 @@ pub struct Engine {
     tracker: StreamTracker,
 }
 
-/// Builder state threaded through the post-order compile walk.
+/// Builder state threaded through the post-order compile walk. Shared
+/// with the fused multi-query compiler ([`crate::multi`]), which runs
+/// one builder per lane and pools the deterministic unit output.
 #[derive(Default)]
-struct Builder {
-    words: usize,
-    next_node: u32,
-    next_ctx: u32,
-    ops: Vec<Op>,
-    masks: Vec<u64>,
-    tables: Vec<u16>,
-    sdfa_off: Vec<u32>,
-    sdfa_start: Vec<u16>,
-    sdfa_node: Vec<u32>,
-    num_off: Vec<u32>,
-    num_start: Vec<u16>,
-    num_node: Vec<u32>,
-    sub1_bitmap: Vec<u64>,
-    sub1_target: Vec<u32>,
-    sub1_node: Vec<u32>,
-    subp_win_mask: Vec<u64>,
-    subp_blocks_off: Vec<u32>,
-    subp_blocks_len: Vec<u32>,
-    subp_blocks: Vec<u64>,
-    subp_target: Vec<u32>,
-    subp_node: Vec<u32>,
-    wide_subs: Vec<WideSub>,
+pub(crate) struct Builder {
+    pub(crate) words: usize,
+    pub(crate) next_node: u32,
+    pub(crate) next_ctx: u32,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) masks: Vec<u64>,
+    pub(crate) tables: Vec<u16>,
+    pub(crate) sdfa_off: Vec<u32>,
+    pub(crate) sdfa_start: Vec<u16>,
+    pub(crate) sdfa_node: Vec<u32>,
+    pub(crate) num_off: Vec<u32>,
+    pub(crate) num_start: Vec<u16>,
+    pub(crate) num_node: Vec<u32>,
+    pub(crate) sub1_bitmap: Vec<u64>,
+    pub(crate) sub1_target: Vec<u32>,
+    pub(crate) sub1_node: Vec<u32>,
+    pub(crate) subp_win_mask: Vec<u64>,
+    pub(crate) subp_blocks_off: Vec<u32>,
+    pub(crate) subp_blocks_len: Vec<u32>,
+    pub(crate) subp_blocks: Vec<u64>,
+    pub(crate) subp_target: Vec<u32>,
+    pub(crate) subp_node: Vec<u32>,
+    pub(crate) wide_subs: Vec<WideSub>,
 }
 
 impl Builder {
@@ -694,7 +828,7 @@ impl Builder {
         (off, dfa.dense_start())
     }
 
-    fn visit(&mut self, expr: &Expr) -> u32 {
+    pub(crate) fn visit(&mut self, expr: &Expr) -> u32 {
         match expr {
             Expr::Str(spec) => {
                 let node = match spec.technique {
@@ -803,7 +937,7 @@ impl Builder {
     }
 }
 
-fn count_nodes(expr: &Expr) -> usize {
+pub(crate) fn count_nodes(expr: &Expr) -> usize {
     match expr {
         Expr::Str(_) | Expr::Num(_) => 1,
         Expr::And(cs) | Expr::Or(cs) | Expr::Ctx(cs, _) => {
@@ -953,29 +1087,7 @@ impl Engine {
             num_nodes: self.root + 1,
             words: self.words,
             root: self.root,
-            ops: self
-                .ops
-                .iter()
-                .map(|op| OpView {
-                    node: op.node,
-                    mask_off: op.mask_off,
-                    kind: match &op.kind {
-                        OpKind::And => OpKindView::And,
-                        OpKind::Or => OpKindView::Or,
-                        OpKind::Ctx {
-                            clear_off,
-                            ctx_id,
-                            ctx_lo,
-                            member,
-                        } => OpKindView::Ctx {
-                            clear_off: *clear_off,
-                            ctx_id: *ctx_id,
-                            ctx_lo: *ctx_lo,
-                            member: *member,
-                        },
-                    },
-                })
-                .collect(),
+            ops: self.ops.iter().map(Op::view).collect(),
             masks: self.masks.clone(),
             num_ctxs: self.flag_level.len() as u32,
             tables: self.tables.clone(),
@@ -1122,61 +1234,19 @@ impl Engine {
             self.latch[0] = l;
             return l & (1u64 << self.root) != 0;
         }
-        for op in &self.ops {
-            let mask = &self.masks[op.mask_off as usize..op.mask_off as usize + self.words];
-            match &op.kind {
-                OpKind::And => {
-                    let all = mask.iter().zip(&self.latch).all(|(m, l)| l & m == *m);
-                    if all {
-                        Self::set_bit(&mut self.latch, op.node);
-                    }
-                }
-                OpKind::Or => {
-                    let any = mask.iter().zip(&self.latch).any(|(m, l)| l & m != 0);
-                    if any {
-                        Self::set_bit(&mut self.latch, op.node);
-                    }
-                }
-                OpKind::Ctx {
-                    clear_off,
-                    ctx_id,
-                    ctx_lo,
-                    member,
-                } => {
-                    let mut any = false;
-                    let mut all = true;
-                    let mut pending_before = false;
-                    for (w, m) in mask.iter().enumerate() {
-                        let v = self.latch[w] & m;
-                        any |= v != 0;
-                        all &= v == *m;
-                        pending_before |= self.prev[w] & m != 0;
-                    }
-                    // First fire of a fresh instance records the level.
-                    if !pending_before && any {
-                        self.flag_level[*ctx_id as usize] = depth;
-                    }
-                    if all {
-                        Self::set_bit(&mut self.latch, op.node);
-                    }
-                    // Instance end: clear pending descendant latches.
-                    if any {
-                        let fl = self.flag_level[*ctx_id as usize];
-                        let end = (is_close && depth <= fl) || (*member && is_comma && depth == fl);
-                        if end {
-                            let clear =
-                                &self.masks[*clear_off as usize..*clear_off as usize + self.words];
-                            for (l, c) in self.latch.iter_mut().zip(clear) {
-                                *l &= !c;
-                            }
-                            for fl in &mut self.flag_level[*ctx_lo as usize..*ctx_id as usize] {
-                                *fl = 0;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        run_program_multi(
+            &self.ops,
+            &self.masks,
+            self.words,
+            &mut self.latch,
+            &self.prev,
+            &mut self.flag_level,
+            ByteEvent {
+                depth,
+                is_close,
+                is_comma,
+            },
+        );
         Self::bit(&self.latch, self.root)
     }
 
@@ -1213,9 +1283,21 @@ impl Engine {
             .map_or((0, 0), |pf| (pf.checked, pf.rejected))
     }
 
+    /// Current adaptive state of the literal prefilter — see
+    /// [`PrefilterStatus`] for what each state means for the reported
+    /// hit rate.
+    pub fn prefilter_status(&self) -> PrefilterStatus {
+        match &self.prefilter {
+            None => PrefilterStatus::Absent,
+            Some(pf) if !pf.live => PrefilterStatus::Disabled,
+            Some(pf) if pf.checked < Self::PREFILTER_PROBATION => PrefilterStatus::Probation,
+            Some(_) => PrefilterStatus::Live,
+        }
+    }
+
     /// How many records the prefilter observes before deciding whether to
     /// stay enabled.
-    const PREFILTER_PROBATION: u64 = 512;
+    pub const PREFILTER_PROBATION: u64 = 512;
 
     /// Advances a whole slice of record content at once; returns the
     /// latched record-accept signal after the last byte — exactly what a

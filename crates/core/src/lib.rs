@@ -26,6 +26,9 @@
 //! * [`engine`] — the flattened table-driven batch execution engine:
 //!   same semantics as [`evaluator`] (held equal by differential tests),
 //!   several times faster; the path to use for bulk software filtering.
+//! * [`multi`] — the fused multi-query engine: one shared scan answers a
+//!   whole batch of queries through a deduplicated matcher-unit pool,
+//!   behind the [`MultiBackend`](multi::MultiBackend) surface.
 //! * [`cosim`] — the elaborated netlist running in the cycle-accurate
 //!   RTL simulator, behind the same backend interface.
 //! * [`elaborate`] — elaboration of any composed filter into an
@@ -77,15 +80,17 @@ pub mod engine;
 pub mod eval;
 pub mod evaluator;
 pub mod expr;
+pub mod multi;
 mod prefilter;
 pub mod primitive;
 pub mod query;
 
 pub use backend::{CompileError, FilterBackend, IngestLimits, SkipReason, Verdict};
 pub use cosim::CosimBackend;
-pub use engine::{Engine, ProgramView};
+pub use engine::{Engine, PrefilterStatus, ProgramView};
 pub use evaluator::CompiledFilter;
 pub use expr::{Expr, StructScope};
+pub use multi::{BatchVerdicts, MultiBackend, MultiEngine, MultiLanes, ShareStats, UnitCounts};
 
 /// Convenience prelude for downstream users.
 pub mod prelude {
@@ -98,5 +103,6 @@ pub mod prelude {
     pub use crate::eval::{measure, Measurement};
     pub use crate::evaluator::CompiledFilter;
     pub use crate::expr::{Expr, StructScope};
+    pub use crate::multi::{BatchVerdicts, MultiBackend, MultiEngine, MultiLanes};
     pub use crate::query::query_to_exprs;
 }

@@ -35,8 +35,15 @@
 //! ```
 //!
 //! This is the architectural seam future scaling work (async ingest,
-//! multi-query sharing, real hardware offload) plugs into: anything that
-//! implements [`FilterBackend`] is sharded for free.
+//! real hardware offload) plugs into: anything that implements
+//! [`FilterBackend`] is sharded for free — and since a sharded lane is
+//! just "something that filters a self-contained NDJSON sub-stream",
+//! the same machinery carries **fused multi-query plans**:
+//! [`MultiShardedRunner`] shards a whole
+//! [`MultiBackend`](rfjson_core::multi::MultiBackend) batch (one fused
+//! scan answering N queries per lane) with the identical
+//! panic-isolation/heal/retry ladder, reassembling per-record verdict
+//! *bitsets* ([`BatchVerdicts`]) instead of single decisions.
 //!
 //! # Fault tolerance
 //!
@@ -75,6 +82,7 @@ pub mod fault;
 
 use rfjson_core::backend::FilterBackend;
 use rfjson_core::expr::Expr;
+use rfjson_core::multi::{BatchVerdicts, MultiBackend, MultiLanes};
 use rfjson_core::CompiledFilter;
 use rfjson_jsonstream::frame::{shard_ranges, split_records};
 use std::error::Error;
@@ -276,15 +284,7 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
 
     /// Effective shard count for a stream of `stream_len` bytes.
     pub fn shards_for(&self, stream_len: usize) -> usize {
-        let requested = self
-            .config
-            .shards
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
-            .max(1);
-        let cap = (stream_len / self.config.min_shard_bytes.max(1)).max(1);
-        requested.min(cap)
+        effective_shards(self.config, stream_len)
     }
 
     /// The record-aligned ranges a call over `stream` would fan out to.
@@ -426,23 +426,8 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
                 }
             }
         } else {
-            let results: Vec<Result<Vec<Verdict>, Fault>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .lanes
-                    .iter_mut()
-                    .zip(ranges.iter().cloned())
-                    .map(|(lane, range)| {
-                        let shard = &stream[range];
-                        scope.spawn(move || run_lane(lane, shard, lane_limits))
-                    })
-                    .collect();
-                // A panic is caught *inside* the thread; a join error
-                // would mean the panic escaped the catch, so treat it
-                // as the same lane fault rather than propagating.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or(Err(Fault)))
-                    .collect()
+            let results = fan_out(&mut self.lanes, stream, &ranges, |lane, shard| {
+                run_lane(lane, shard, lane_limits)
             });
             // Shards are spawned (and joined) in stream order, so plain
             // concatenation reassembles the verdicts in input order;
@@ -539,6 +524,345 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
 
 /// Marker for a caught lane fault (panic or wrong-length output).
 struct Fault;
+
+/// The shared fan-out step: one scoped thread per (lane, shard) pair,
+/// results collected in stream order. A join error would mean a panic
+/// escaped the lane's own `catch_unwind`, so it degrades to the same
+/// lane [`Fault`] rather than propagating.
+fn fan_out<L, V, F>(
+    lanes: &mut [L],
+    stream: &[u8],
+    ranges: &[Range<usize>],
+    run: F,
+) -> Vec<Result<V, Fault>>
+where
+    L: Send,
+    V: Send,
+    F: Fn(&mut L, &[u8]) -> Result<V, Fault> + Sync,
+{
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = lanes
+            .iter_mut()
+            .zip(ranges.iter().cloned())
+            .map(|(lane, range)| {
+                let shard = &stream[range];
+                scope.spawn(move || run(lane, shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(Fault)))
+            .collect()
+    })
+}
+
+/// Effective shard count for a stream of `stream_len` bytes under
+/// `config` (requested lanes capped by the minimum worthwhile shard
+/// size).
+fn effective_shards(config: RunnerConfig, stream_len: usize) -> usize {
+    let requested = config
+        .shards
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1);
+    let cap = (stream_len / config.min_shard_bytes.max(1)).max(1);
+    requested.min(cap)
+}
+
+/// A **fused multi-query plan** replicated across threads over
+/// record-aligned shards — the multi-query form of [`ShardedRunner`],
+/// where every sharded lane carries one whole
+/// [`MultiBackend`](rfjson_core::multi::MultiBackend) batch (one shared
+/// scan answering all N queries for its slice of the stream) instead of
+/// a single filter.
+///
+/// The fault-tolerance ladder is identical: every lane runs under
+/// `catch_unwind`, a failed or wrong-length shard heals its lane and
+/// retries serially on the reference batch backend `R` (independent
+/// [`MultiLanes`] over the [`CompiledFilter`] model by default), and
+/// only a double fault surfaces as [`RuntimeError::ShardFailed`]. The
+/// global record budget is applied after reassembly via
+/// [`BatchVerdicts::quarantine_from`], byte-identically to the serial
+/// batch driver's precedence rules.
+#[derive(Debug, Clone)]
+pub struct MultiShardedRunner<M: MultiBackend + Send, R: MultiBackend = MultiLanes<CompiledFilter>>
+{
+    exprs: Vec<Expr>,
+    config: RunnerConfig,
+    /// Cached per-shard fused lanes, grown on demand and healed
+    /// (recompiled) after a caught fault, exactly as in
+    /// [`ShardedRunner`].
+    lanes: Vec<M>,
+    /// Lazily compiled serial retry batch (dropped again if it faults).
+    retry_lane: Option<R>,
+}
+
+impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
+    /// Runner with the default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or an invalid expression — use
+    /// [`MultiShardedRunner::try_new`] for user-supplied batches.
+    pub fn new(exprs: &[Expr]) -> Self {
+        Self::with_config(exprs, RunnerConfig::default())
+    }
+
+    /// Fallible form of [`MultiShardedRunner::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Backend`] for an empty batch;
+    /// [`CompileError::InvalidExpr`] for an ill-formed expression.
+    pub fn try_new(exprs: &[Expr]) -> Result<Self, CompileError> {
+        Self::try_with_config(exprs, RunnerConfig::default())
+    }
+
+    /// Runner with an explicit shard count (no minimum-size cap).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`MultiShardedRunner::new`].
+    pub fn with_shards(exprs: &[Expr], shards: usize) -> Self {
+        Self::with_config(
+            exprs,
+            RunnerConfig {
+                shards: Some(shards),
+                min_shard_bytes: 1,
+            },
+        )
+    }
+
+    /// Fallible form of [`MultiShardedRunner::with_shards`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiShardedRunner::try_new`].
+    pub fn try_with_shards(exprs: &[Expr], shards: usize) -> Result<Self, CompileError> {
+        Self::try_with_config(
+            exprs,
+            RunnerConfig {
+                shards: Some(shards),
+                min_shard_bytes: 1,
+            },
+        )
+    }
+
+    /// Runner with full configuration control.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`MultiShardedRunner::new`].
+    pub fn with_config(exprs: &[Expr], config: RunnerConfig) -> Self {
+        Self::try_with_config(exprs, config).expect("batch must be non-empty and well-formed")
+    }
+
+    /// Fallible form of [`MultiShardedRunner::with_config`]: no public
+    /// constructor of this runner panics on user input.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultiShardedRunner::try_new`].
+    pub fn try_with_config(exprs: &[Expr], config: RunnerConfig) -> Result<Self, CompileError> {
+        if exprs.is_empty() {
+            return Err(CompileError::Backend {
+                backend: "multi shard lane",
+                reason: "a batch needs at least one query".into(),
+            });
+        }
+        for expr in exprs {
+            expr.validate()?;
+        }
+        Ok(MultiShardedRunner {
+            exprs: exprs.to_vec(),
+            config,
+            lanes: Vec::new(),
+            retry_lane: None,
+        })
+    }
+
+    /// The batch's source expressions, in query order.
+    pub fn exprs(&self) -> &[Expr] {
+        &self.exprs
+    }
+
+    /// Number of queries in the batch.
+    pub fn num_queries(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> RunnerConfig {
+        self.config
+    }
+
+    /// Effective shard count for a stream of `stream_len` bytes.
+    pub fn shards_for(&self, stream_len: usize) -> usize {
+        effective_shards(self.config, stream_len)
+    }
+
+    /// The record-aligned ranges a call over `stream` would fan out to.
+    pub fn plan(&self, stream: &[u8]) -> Vec<Range<usize>> {
+        shard_ranges(stream, self.shards_for(stream.len()))
+    }
+
+    /// Filters a newline-delimited stream against the whole batch,
+    /// returning per-record verdict bitsets in input order —
+    /// byte-identical to the serial
+    /// [`MultiBackend::filter_stream_verdicts`] of the same backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on a shard double fault; use
+    /// [`MultiShardedRunner::filter_stream_verdicts`] to handle that as
+    /// a value.
+    pub fn filter_stream(&mut self, stream: &[u8]) -> BatchVerdicts {
+        self.filter_stream_verdicts(stream, IngestLimits::UNLIMITED)
+            .expect("shard double fault: primary lane and batch retry both failed")
+    }
+
+    /// Quarantine-aware parallel batch filtering: per-record verdict
+    /// bitsets with [`IngestLimits`] applied exactly as the serial batch
+    /// driver applies them (record-length per record on each lane, the
+    /// record budget globally after reassembly).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShardFailed`] on a shard double fault;
+    /// [`RuntimeError::Compile`] if a lane cannot be compiled.
+    pub fn filter_stream_verdicts(
+        &mut self,
+        stream: &[u8],
+        limits: IngestLimits,
+    ) -> Result<BatchVerdicts, RuntimeError> {
+        let ranges = self.plan(stream);
+        self.ensure_lanes(ranges.len().max(1))?;
+        let lane_limits = IngestLimits {
+            max_record_bytes: limits.max_record_bytes,
+            max_records: None,
+        };
+        let mut out = BatchVerdicts::new(self.exprs.len());
+        if ranges.len() <= 1 {
+            if let Some(r) = ranges.first() {
+                let shard = &stream[r.clone()];
+                match run_multi_lane(&mut self.lanes[0], shard, lane_limits) {
+                    Ok(v) => out.append(&v),
+                    Err(Fault) => {
+                        self.heal_lane(0);
+                        let expected = split_records(shard).count();
+                        let v = self.retry_shard(0, 0, shard, lane_limits, expected)?;
+                        out.append(&v);
+                    }
+                }
+            }
+        } else {
+            let results = fan_out(&mut self.lanes, stream, &ranges, |lane, shard| {
+                run_multi_lane(lane, shard, lane_limits)
+            });
+            let mut record_base = 0;
+            for (shard_idx, (result, range)) in results.into_iter().zip(&ranges).enumerate() {
+                let shard = &stream[range.clone()];
+                let expected = split_records(shard).count();
+                match result {
+                    Ok(v) => out.append(&v),
+                    Err(Fault) => {
+                        self.heal_lane(shard_idx);
+                        let v =
+                            self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?;
+                        out.append(&v);
+                    }
+                }
+                record_base += expected;
+            }
+        }
+        // Global record budget after reassembly: the overwrite gives the
+        // record-count quarantine precedence over per-lane length
+        // quarantine, exactly as the serial driver orders its checks.
+        if let Some(m) = limits.max_records {
+            out.quarantine_from(m, SkipReason::RecordLimit { limit: m });
+        }
+        Ok(out)
+    }
+
+    /// Compiles missing fused lanes; a panic during batch compilation is
+    /// reported as a [`CompileError::Backend`], never propagated.
+    fn ensure_lanes(&mut self, n: usize) -> Result<(), RuntimeError> {
+        while self.lanes.len() < n {
+            let exprs = &self.exprs;
+            let lane = catch_unwind(AssertUnwindSafe(|| M::try_compile_batch(exprs)))
+                .unwrap_or_else(|_| {
+                    Err(CompileError::Backend {
+                        backend: "multi shard lane",
+                        reason: "panicked during compilation".into(),
+                    })
+                })?;
+            self.lanes.push(lane);
+        }
+        Ok(())
+    }
+
+    /// Replaces a fused lane whose state is suspect after a caught
+    /// fault (same keep-on-recompile-failure policy as
+    /// [`ShardedRunner`]).
+    fn heal_lane(&mut self, i: usize) {
+        let exprs = &self.exprs;
+        if let Ok(Ok(fresh)) = catch_unwind(AssertUnwindSafe(|| M::try_compile_batch(exprs))) {
+            self.lanes[i] = fresh;
+        }
+    }
+
+    /// Serial retry of one failed shard on the reference batch backend
+    /// `R`; a failure here is the double fault.
+    fn retry_shard(
+        &mut self,
+        shard_idx: usize,
+        record_base: usize,
+        shard: &[u8],
+        limits: IngestLimits,
+        expected: usize,
+    ) -> Result<BatchVerdicts, RuntimeError> {
+        let failed = || RuntimeError::ShardFailed {
+            shard: shard_idx,
+            records: record_base..record_base + expected,
+        };
+        if self.retry_lane.is_none() {
+            let exprs = &self.exprs;
+            match catch_unwind(AssertUnwindSafe(|| R::try_compile_batch(exprs))) {
+                Ok(Ok(lane)) => self.retry_lane = Some(lane),
+                _ => return Err(failed()),
+            }
+        }
+        let lane = self.retry_lane.as_mut().expect("compiled above");
+        match run_multi_lane(lane, shard, limits) {
+            Ok(v) => Ok(v),
+            Err(Fault) => {
+                self.retry_lane = None;
+                Err(failed())
+            }
+        }
+    }
+}
+
+/// Runs one fused lane over one shard under [`catch_unwind`],
+/// validating the record count against the shard's framing — the batch
+/// form of [`run_lane`].
+fn run_multi_lane<M: MultiBackend>(
+    lane: &mut M,
+    shard: &[u8],
+    limits: IngestLimits,
+) -> Result<BatchVerdicts, Fault> {
+    let verdicts = catch_unwind(AssertUnwindSafe(|| {
+        lane.filter_stream_verdicts(shard, limits)
+    }))
+    .map_err(|_| Fault)?;
+    if verdicts.num_records() == split_records(shard).count() {
+        Ok(verdicts)
+    } else {
+        Err(Fault)
+    }
+}
 
 /// Runs one lane over one shard under [`catch_unwind`], validating the
 /// verdict count against the shard's record count — a panicking lane and
@@ -765,5 +1089,75 @@ mod tests {
         let n = runner.shards_for(usize::MAX);
         assert!(n >= 1);
         assert_eq!(runner.config(), RunnerConfig::default());
+    }
+
+    mod multi {
+        use super::*;
+        use rfjson_core::multi::{MultiBackend, MultiEngine};
+
+        fn batch() -> Vec<Expr> {
+            vec![
+                ctx_expr(),
+                Expr::and([
+                    Expr::substring(b"humidity", 1).unwrap(),
+                    Expr::int_range(10, 90),
+                ]),
+                Expr::int_range(1, 5),
+            ]
+        }
+
+        fn corpus() -> Vec<u8> {
+            let mut s = Vec::new();
+            for _ in 0..6 {
+                s.extend_from_slice(b"{\"e\":[{\"v\":\"21.0\",\"n\":\"temperature\"}]}\n");
+                s.extend_from_slice(b"{\"n\":\"humidity\",\"v\":\"55\"}\r\n");
+                s.extend_from_slice(b"\n{\"a\":3}\n{\"a\":9}\n");
+            }
+            s.extend_from_slice(b"{\"n\":\"humidity\",\"v\":\"42\"}");
+            s
+        }
+
+        #[test]
+        fn sharded_fused_equals_serial_fused_and_single_engines() {
+            let exprs = batch();
+            let stream = corpus();
+            let serial = MultiEngine::compile_batch(&exprs)
+                .filter_stream_verdicts(&stream, IngestLimits::UNLIMITED);
+            for shards in [1, 2, 3, 8] {
+                let mut runner: MultiShardedRunner<MultiEngine> =
+                    MultiShardedRunner::with_shards(&exprs, shards);
+                assert_eq!(runner.filter_stream(&stream), serial, "shards={shards}");
+            }
+            for (q, expr) in exprs.iter().enumerate() {
+                let single =
+                    Engine::compile(expr).filter_stream_verdicts(&stream, IngestLimits::UNLIMITED);
+                assert_eq!(serial.query_verdicts(q), single, "query {q}");
+            }
+        }
+
+        #[test]
+        fn quarantine_agrees_at_every_shard_count() {
+            let exprs = batch();
+            let stream = corpus();
+            let limits = IngestLimits {
+                max_record_bytes: Some(30),
+                max_records: Some(10),
+            };
+            let serial = MultiEngine::compile_batch(&exprs).filter_stream_verdicts(&stream, limits);
+            for shards in [1, 2, 3, 8] {
+                let mut runner: MultiShardedRunner<MultiEngine> =
+                    MultiShardedRunner::with_shards(&exprs, shards);
+                let got = runner.filter_stream_verdicts(&stream, limits).unwrap();
+                assert_eq!(got, serial, "shards={shards}");
+            }
+        }
+
+        #[test]
+        fn empty_batch_is_a_compile_error() {
+            assert!(matches!(
+                MultiShardedRunner::<MultiEngine>::try_with_shards(&[], 2),
+                Err(CompileError::Backend { .. })
+            ));
+        }
     }
 }

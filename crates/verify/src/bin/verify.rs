@@ -11,13 +11,19 @@
 //! * `--verbose` — also print info-severity diagnostics (automaton sink
 //!   structure, netlist statistics).
 //!
+//! After the per-query passes, every expressible (query, b) expression
+//! of the selection is fused into one batch and linted through the
+//! `M0xx` multi-program pass (lane invariants against the shared unit
+//! pool, independent dedup-census recomputation).
+//!
 //! Exits with status 1 if any error-severity diagnostic is reported, or
 //! 2 on usage errors.
 
 #![forbid(unsafe_code)]
 
+use rfjson_core::query::query_to_exprs;
 use rfjson_riotbench::Query;
-use rfjson_verify::{verify_query, Severity};
+use rfjson_verify::{multi::verify_batch, verify_query, Severity};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -68,8 +74,12 @@ fn main() -> ExitCode {
         Severity::Warning
     };
     let mut failed = false;
+    let mut batch = Vec::new();
     for query in &queries {
         for &b in &blocks {
+            if let Ok(expr) = query_to_exprs(query, b) {
+                batch.push(expr);
+            }
             match verify_query(query, b) {
                 Ok(report) => {
                     let verdict = if report.has_errors() {
@@ -88,6 +98,30 @@ fn main() -> ExitCode {
                     // needle shorter than B) is a skip, not a failure.
                     println!("skip {} (b={b}): {e}", query.name);
                 }
+            }
+        }
+    }
+
+    // Fused batch lint: all expressible selections as one multi-query
+    // plan through the M0xx pass.
+    if !batch.is_empty() {
+        let name = format!("fused batch ({} queries)", batch.len());
+        match verify_batch(&batch, &name) {
+            Ok(report) => {
+                let verdict = if report.has_errors() {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!("{:4} {}", verdict, report.summary());
+                for d in report.at_least(min_shown) {
+                    println!("       {d}");
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL fused batch failed to compile: {e}");
+                failed = true;
             }
         }
     }

@@ -25,13 +25,19 @@
 //!   cycles via topological sort, multi-driven output nets, unconnected
 //!   flip-flops, dangling inputs, dead gates, plus fanout and gate-count
 //!   statistics.
+//! * [`multi`] — fused multi-query plans (codes `M0xx`): per-lane
+//!   structural invariants against the shared unit pool, and the dedup
+//!   census re-proved by an independent recomputation from the source
+//!   expressions.
 //!
 //! ## Entry points
 //!
-//! [`verify_expr`] runs all three passes over one composed filter
-//! expression; [`verify_query`] lints a RiotBench Table VIII query end
-//! to end. The `verify` binary applies the latter to every built-in
-//! query and exits non-zero on any error-severity diagnostic.
+//! [`verify_expr`] runs the three single-query passes over one composed
+//! filter expression; [`verify_query`] lints a RiotBench Table VIII
+//! query end to end; [`multi::verify_batch`] lints a fused query batch.
+//! The `verify` binary applies the query lint to every built-in query,
+//! then the batch lint to the whole selection fused together, and exits
+//! non-zero on any error-severity diagnostic.
 //!
 //! ```
 //! use rfjson_core::Expr;
@@ -50,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod dfa;
+pub mod multi;
 pub mod netlist;
 pub mod program;
 

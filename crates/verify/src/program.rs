@@ -67,15 +67,15 @@ pub fn verify_program(view: &ProgramView) -> Vec<Diagnostic> {
 /// The automata a fresh derivation from the expression yields, in the
 /// compiler's deterministic visit order.
 #[derive(Default)]
-struct ExpectedUnits {
-    string_dfas: Vec<Dfa>,
-    number_dfas: Vec<Dfa>,
-    sub1: usize,
-    subp: usize,
-    wide: usize,
+pub(crate) struct ExpectedUnits {
+    pub(crate) string_dfas: Vec<Dfa>,
+    pub(crate) number_dfas: Vec<Dfa>,
+    pub(crate) sub1: usize,
+    pub(crate) subp: usize,
+    pub(crate) wide: usize,
 }
 
-fn collect_expected(expr: &Expr, exp: &mut ExpectedUnits) {
+pub(crate) fn collect_expected(expr: &Expr, exp: &mut ExpectedUnits) {
     match expr {
         Expr::Str(spec) => match spec.technique {
             StringTechnique::Dfa | StringTechnique::Window => {
@@ -102,7 +102,7 @@ fn collect_expected(expr: &Expr, exp: &mut ExpectedUnits) {
 }
 
 /// Cross-checks one stored unit against its freshly derived automaton.
-fn check_unit(
+pub(crate) fn check_unit(
     kind: &str,
     i: usize,
     unit: &DfaUnitView,

@@ -1,14 +1,17 @@
 //! Backend tour: the same query executed by every [`FilterBackend`] —
 //! the cosim-faithful model, the flat batch engine, the gate-level RTL
 //! co-simulation, and the sharded parallel runtime — producing the same
-//! per-record decisions from the same interface.
+//! per-record decisions from the same interface. A final leg fuses a
+//! whole query batch into one [`MultiEngine`] scan and checks it against
+//! the single-query reference.
 //!
 //! ```sh
 //! cargo run --release --example backend_tour
 //! ```
 
 use rfjson_core::cosim::CosimBackend;
-use rfjson_core::{CompiledFilter, Engine, Expr, FilterBackend};
+use rfjson_core::multi::{MultiBackend, MultiEngine};
+use rfjson_core::{CompiledFilter, Engine, Expr, FilterBackend, IngestLimits};
 use rfjson_riotbench::smartcity_corpus;
 use rfjson_runtime::ShardedRunner;
 use std::time::Instant;
@@ -73,6 +76,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runner.plan(&stream).len()
     );
     assert_eq!(Some(decisions), reference, "sharded runner diverged");
+
+    // Fused batch: several resident queries share one scan. The tour
+    // query rides along as lane 0, so its fused verdicts must equal the
+    // single-query reference computed above.
+    let batch = vec![
+        expr.clone(),
+        Expr::context([
+            Expr::substring(b"temperature", 1)?,
+            Expr::float_range("30.0", "99.0")?,
+        ]),
+        Expr::context([Expr::window(b"light")?, Expr::int_range(0, 500)]),
+    ];
+    let mut fused = MultiEngine::compile_batch(&batch);
+    let stats = fused.share_stats();
+    println!(
+        "\nfused batch: {} queries, {} units demanded, {} instantiated ({} shared)",
+        batch.len(),
+        stats.total_units(),
+        stats.pool.total(),
+        stats.shared_units()
+    );
+    let t = Instant::now();
+    let verdicts = fused.filter_stream_verdicts(&stream, IngestLimits::UNLIMITED);
+    let elapsed = t.elapsed();
+    for (q, query) in batch.iter().enumerate() {
+        println!(
+            "  lane {q}: {:>3}/{} matched  `{query}`",
+            verdicts.count_matches(q),
+            verdicts.num_records()
+        );
+    }
+    println!("  one scan: {elapsed:.2?}");
+    let lane0: Vec<bool> = (0..verdicts.num_records())
+        .map(|r| verdicts.matched(r, 0))
+        .collect();
+    assert_eq!(Some(lane0), reference, "fused lane 0 diverged");
 
     println!("\nall execution paths agree on every record decision");
     Ok(())
