@@ -9,10 +9,13 @@
 //!
 //! ```text
 //! cargo run -p rfjson-bench --bin perf_trajectory --release -- \
-//!     [--quick] [--pr N] [--threads N] [--shards N] [--out BENCH_PRN.json]
+//!     [--quick] [--telemetry] [--pr N] [--threads N] [--shards N] \
+//!     [--out BENCH_PRN.json]
 //! ```
 //!
 //! `--quick` shrinks the corpora and iteration count for CI smoke use;
+//! `--telemetry` embeds a per-workload `rfjson-telemetry` snapshot delta
+//! (the pipeline counters accumulated across that workload's passes);
 //! `--pr N` stamps the measurement (and the default output filename) for
 //! PR N; `--threads N` overrides the detected hardware parallelism (the
 //! reported `threads_available` and the default lane count — the knob
@@ -39,18 +42,19 @@ use rfjson_core::{FilterBackend, IngestLimits};
 use rfjson_jsonstream::frame::split_records;
 use rfjson_riotbench::{smartcity_corpus, taxi_corpus, twitter_corpus, Dataset, Query};
 use rfjson_runtime::{MultiShardedRunner, ShardedRunner};
+use rfjson_telemetry::Snapshot;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Schema identifier for `BENCH_*.json` consumers (v4 adds the fused
-/// multi-query fields: a `multi_workloads` array with fused-vs-serial
-/// throughput and `scan_sharing_factor`, plus per-workload
-/// `prefilter_state` — the probation/live/disabled status that explains
-/// a 0.0 `prefilter_hit_rate`).
-const SCHEMA: &str = "rfjson-perf-trajectory/v4";
+/// Schema identifier for `BENCH_*.json` consumers (v5 adds the
+/// top-level `telemetry_enabled` flag and, under `--telemetry`, a
+/// per-workload `telemetry` object: the `rfjson-telemetry` snapshot
+/// *delta* accumulated across that workload's cross-checks and timed
+/// passes — pipeline counters riding along with the throughput numbers).
+const SCHEMA: &str = "rfjson-perf-trajectory/v5";
 /// Default `--pr` value: the PR that last reran the trajectory.
-const DEFAULT_PR: u32 = 9;
+const DEFAULT_PR: u32 = 10;
 
 struct WorkloadResult {
     name: String,
@@ -66,6 +70,9 @@ struct WorkloadResult {
     prefilter_state: String,
     parallel_mbps: f64,
     shards: usize,
+    /// Telemetry snapshot delta across this workload's passes
+    /// (`--telemetry` only).
+    telemetry: Option<Snapshot>,
 }
 
 struct MultiWorkloadResult {
@@ -85,6 +92,9 @@ struct MultiWorkloadResult {
     units_total: usize,
     units_pool: usize,
     units_shared: usize,
+    /// Telemetry snapshot delta across this workload's passes
+    /// (`--telemetry` only).
+    telemetry: Option<Snapshot>,
 }
 
 impl MultiWorkloadResult {
@@ -127,13 +137,26 @@ fn best_mbps(bytes: usize, iters: usize, mut run: impl FnMut()) -> f64 {
     bytes as f64 / best / 1e6
 }
 
+/// Snapshot-the-world entry hook for `--telemetry`: the per-workload
+/// delta is everything the whole pipeline recorded while the workload
+/// ran (cross-checks and timed passes included).
+fn telemetry_before(enabled: bool) -> Option<Snapshot> {
+    enabled.then(|| rfjson_telemetry::registry().snapshot())
+}
+
+fn telemetry_delta(before: Option<Snapshot>) -> Option<Snapshot> {
+    before.map(|b| rfjson_telemetry::registry().snapshot().delta(&b))
+}
+
 fn measure(
     name: &str,
     expr: &Expr,
     dataset: &Dataset,
     iters: usize,
     shards: usize,
+    telemetry: bool,
 ) -> WorkloadResult {
+    let tele_before = telemetry_before(telemetry);
     let stream = dataset.stream();
     let mut model = CompiledFilter::compile(expr);
     let mut engine = Engine::compile(expr);
@@ -204,6 +227,7 @@ fn measure(
         prefilter_state: engine.prefilter_status().to_string(),
         parallel_mbps,
         shards,
+        telemetry: telemetry_delta(tele_before),
     }
 }
 
@@ -216,7 +240,9 @@ fn measure_multi(
     dataset: &Dataset,
     iters: usize,
     shards: usize,
+    telemetry: bool,
 ) -> MultiWorkloadResult {
+    let tele_before = telemetry_before(telemetry);
     let stream = dataset.stream();
     let mut engines: Vec<Engine> = exprs.iter().map(Engine::compile).collect();
     let mut fused = MultiEngine::compile_batch(exprs);
@@ -284,6 +310,7 @@ fn measure_multi(
         units_total: stats.total_units(),
         units_pool: stats.pool.total(),
         units_shared: stats.shared_units(),
+        telemetry: telemetry_delta(tele_before),
     }
 }
 
@@ -299,10 +326,24 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// Re-indents a multi-line JSON value so it nests at `pad` (the first
+/// line stays in place after its `"key": ` prefix).
+fn indent_json(json: &str, pad: &str) -> String {
+    let mut lines = json.lines();
+    let mut s = lines.next().unwrap_or("{}").to_string();
+    for line in lines {
+        s.push('\n');
+        s.push_str(pad);
+        s.push_str(line);
+    }
+    s
+}
+
 fn to_json(
     pr: u32,
     quick: bool,
     threads: usize,
+    telemetry: bool,
     results: &[WorkloadResult],
     multi: &[MultiWorkloadResult],
 ) -> String {
@@ -311,6 +352,7 @@ fn to_json(
     let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(s, "  \"pr\": {pr},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"telemetry_enabled\": {telemetry},");
     let _ = writeln!(s, "  \"threads_available\": {threads},");
     s.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -342,6 +384,13 @@ fn to_json(
             "      \"parallel_speedup\": {:.3},",
             r.parallel_speedup()
         );
+        if let Some(t) = &r.telemetry {
+            let _ = writeln!(
+                s,
+                "      \"telemetry\": {},",
+                indent_json(&t.to_json(), "      ")
+            );
+        }
         s.push_str("      \"decisions_agree\": true\n");
         s.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -379,6 +428,13 @@ fn to_json(
         let _ = writeln!(s, "      \"units_total\": {},", r.units_total);
         let _ = writeln!(s, "      \"units_pool\": {},", r.units_pool);
         let _ = writeln!(s, "      \"units_shared\": {},", r.units_shared);
+        if let Some(t) = &r.telemetry {
+            let _ = writeln!(
+                s,
+                "      \"telemetry\": {},",
+                indent_json(&t.to_json(), "      ")
+            );
+        }
         s.push_str("      \"decisions_agree\": true\n");
         s.push_str(if i + 1 == multi.len() {
             "    }\n"
@@ -409,6 +465,7 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let pr: u32 = parse_flag(&args, "--pr").unwrap_or(DEFAULT_PR);
     // `--threads` overrides the detected parallelism (and thereby the
     // default lane count); `--shards` pins the lane count directly.
@@ -499,7 +556,7 @@ fn main() {
     );
     let mut results = Vec::new();
     for (name, expr, dataset, w_iters) in &workloads {
-        let r = measure(name, expr, dataset, *w_iters, shards);
+        let r = measure(name, expr, dataset, *w_iters, shards, telemetry);
         println!(
             "{:<6} {:<10} {:>8} {:>12.1} {:>13.1} {:>12.1} {:>7.1}% {:>8.2}x {:>15.1} {:>9.2}x  [prefilter {}]",
             r.name,
@@ -540,7 +597,7 @@ fn main() {
     ];
     let mut multi_results = Vec::new();
     for (name, dataset, w_iters) in &multi_workloads {
-        let r = measure_multi(name, &batch, dataset, *w_iters, shards);
+        let r = measure_multi(name, &batch, dataset, *w_iters, shards, telemetry);
         println!(
             "{:<9} {:<10} {:>8} {:>13.1} {:>12.1} {:>8.2}x {:>15.1} {:>9.2}x {:>11}/{}",
             r.name,
@@ -557,7 +614,7 @@ fn main() {
         multi_results.push(r);
     }
 
-    let json = to_json(pr, quick, threads, &results, &multi_results);
+    let json = to_json(pr, quick, threads, telemetry, &results, &multi_results);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("FATAL: cannot write {out_path}: {e}");
         std::process::exit(1);

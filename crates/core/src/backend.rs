@@ -174,6 +174,17 @@ pub trait FilterBackend {
     /// Record-boundary reset.
     fn reset(&mut self);
 
+    /// Flushes any internally accumulated telemetry into the global
+    /// [`rfjson_telemetry`] registry.
+    ///
+    /// Backends that keep per-stream counters (the SWAR engines tally
+    /// bytes-by-path and prefilter events in plain locals — no atomics
+    /// on the byte path) override this; the stream drivers call it once
+    /// per stream, after the last record. The default is a no-op, and
+    /// under the `telemetry-off` feature even the overrides compile to
+    /// nothing.
+    fn flush_telemetry(&mut self) {}
+
     /// Scans one record (appending the `\n` separator the hardware
     /// sees) and returns the accept decision. Resets on entry, so
     /// repeated calls are independent.
@@ -260,19 +271,32 @@ pub fn run_verdict_driver<B: FilterBackend + ?Sized>(
     limits: IngestLimits,
     out: &mut Vec<Verdict>,
 ) {
+    use rfjson_jsonstream::telemetry::FramingTally;
+
     backend.reset();
     let mut framer = LimitedFramer::new(limits);
+    let mut tally = FramingTally::new();
     let mut accept = false;
+    // Whether the last content byte (fed or quarantined) was a CR the
+    // framer will trim — tracked for the `framing.cr_records` tally.
+    let mut prev_cr = false;
     for &b in stream {
         match framer.on_byte(b) {
             LimitedAction::Feed { quarantined } => {
+                prev_cr = b == b'\r';
                 if !quarantined {
                     accept = backend.on_byte(b);
                 }
             }
             LimitedAction::EndRecord(end) => {
+                tally.records += 1;
+                tally.cr_records += u64::from(prev_cr);
+                prev_cr = false;
                 out.push(match end.skip {
-                    Some(reason) => Verdict::Skipped(reason),
+                    Some(reason) => {
+                        tally.quarantine(&reason);
+                        Verdict::Skipped(reason)
+                    }
                     None => {
                         // Feed the separator the hardware would see.
                         accept = backend.on_byte(b);
@@ -281,12 +305,21 @@ pub fn run_verdict_driver<B: FilterBackend + ?Sized>(
                 });
                 backend.reset();
             }
-            LimitedAction::EndBlank => backend.reset(),
+            LimitedAction::EndBlank => {
+                tally.blank_lines += 1;
+                prev_cr = false;
+                backend.reset();
+            }
         }
     }
     if let Some(end) = framer.finish() {
+        tally.records += 1;
+        tally.cr_records += u64::from(prev_cr);
         out.push(match end.skip {
-            Some(reason) => Verdict::Skipped(reason),
+            Some(reason) => {
+                tally.quarantine(&reason);
+                Verdict::Skipped(reason)
+            }
             None => {
                 // Close the trailing record with the `\n` the hardware
                 // would see.
@@ -296,6 +329,8 @@ pub fn run_verdict_driver<B: FilterBackend + ?Sized>(
         });
         backend.reset();
     }
+    tally.flush();
+    backend.flush_telemetry();
 }
 
 /// Record-at-a-time driver behind the provided batch methods: hops from
@@ -328,8 +363,10 @@ pub fn run_verdict_driver_blocks<B: FilterBackend + ?Sized>(
 ) {
     use rfjson_jsonstream::frame::{is_blank_line, trim_cr};
     use rfjson_jsonstream::swar;
+    use rfjson_jsonstream::telemetry::FramingTally;
 
     backend.reset();
+    let mut tally = FramingTally::new();
     let mut records_seen = 0usize;
     let mut rest = stream;
     let mut trailing = false;
@@ -346,9 +383,15 @@ pub fn run_verdict_driver_blocks<B: FilterBackend + ?Sized>(
             }
         };
         if is_blank_line(line) {
+            // Only separator-terminated blanks count: the empty tail a
+            // `\n`-terminated stream leaves behind is not a line the
+            // byte-serial framer ever sees.
+            tally.blank_lines += u64::from(!trailing);
             continue; // no verdict, lane already at reset state
         }
         let content = trim_cr(line).len();
+        tally.records += 1;
+        tally.cr_records += u64::from(content < line.len());
         let index = records_seen;
         records_seen += 1;
         // Same quarantine rules and precedence as `LimitedFramer`.
@@ -363,7 +406,10 @@ pub fn run_verdict_driver_blocks<B: FilterBackend + ?Sized>(
             },
         };
         out.push(match skip {
-            Some(reason) => Verdict::Skipped(reason),
+            Some(reason) => {
+                tally.quarantine(&reason);
+                Verdict::Skipped(reason)
+            }
             None => {
                 let last = backend.on_block(line);
                 let sep = backend.on_byte(b'\n');
@@ -372,6 +418,8 @@ pub fn run_verdict_driver_blocks<B: FilterBackend + ?Sized>(
         });
         backend.reset();
     }
+    tally.flush();
+    backend.flush_telemetry();
 }
 
 #[cfg(test)]

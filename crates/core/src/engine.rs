@@ -762,6 +762,9 @@ pub struct Engine {
     prefilter: Option<PrefilterState>,
 
     // ---- mutable per-stream state ----
+    /// Telemetry accumulated in plain locals on the hot path and flushed
+    /// to the global registry once per stream (`flush_telemetry`).
+    stats: EngineStats,
     /// No bytes fed since the last reset: the next `on_block` call sees a
     /// whole record from the start, which is what the prefilter requires.
     fresh: bool,
@@ -775,6 +778,38 @@ pub struct Engine {
     subp_win: Vec<u64>,
     subp_counter: Vec<u32>,
     tracker: StreamTracker,
+}
+
+/// Per-stream telemetry the engine accumulates in plain `u64` fields —
+/// no atomics, no registry lookups on the byte path. Drained into the
+/// global `engine.*` counters by `flush_telemetry`, which the stream
+/// drivers call once per stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineStats {
+    /// Records entering `on_block` from a fresh reset.
+    records: u64,
+    /// Bytes scanned by the SWAR word loop (word-aligned portion).
+    bytes_block: u64,
+    /// Bytes through the serial `on_byte` path (fallback programs,
+    /// sub-word tails, separators).
+    bytes_byte_serial: u64,
+    /// Bytes never scanned: the prefilter rejected the whole record.
+    bytes_prefilter_skipped: u64,
+    /// Records the live prefilter examined.
+    prefilter_checked: u64,
+    /// Records the prefilter proved `NoMatch` without scanning.
+    prefilter_rejected: u64,
+    /// Probation-end self-disable events (at most one per compile).
+    prefilter_disabled: u64,
+}
+
+impl EngineStats {
+    fn is_empty(&self) -> bool {
+        self.records == 0
+            && self.bytes_block == 0
+            && self.bytes_byte_serial == 0
+            && self.bytes_prefilter_skipped == 0
+    }
 }
 
 /// Builder state threaded through the post-order compile walk. Shared
@@ -1042,6 +1077,7 @@ impl Engine {
             sub1_targets_packed,
             subp_gate,
             prefilter,
+            stats: EngineStats::default(),
             fresh: true,
             latch: vec![0; words],
             prev: vec![0; words],
@@ -1125,6 +1161,7 @@ impl Engine {
     /// [`CompiledFilter::on_byte`](crate::evaluator::CompiledFilter::on_byte).
     #[inline]
     pub fn on_byte(&mut self, byte: u8) -> bool {
+        self.stats.bytes_byte_serial += 1;
         self.fresh = false;
         let mut depth = 0u32;
         let mut is_close = false;
@@ -1319,22 +1356,30 @@ impl Engine {
     pub fn on_block(&mut self, block: &[u8]) -> bool {
         let was_fresh = std::mem::replace(&mut self.fresh, false);
         if was_fresh {
+            self.stats.records += 1;
             if let Some(pf) = self.prefilter.as_mut().filter(|pf| pf.live) {
                 pf.checked += 1;
+                self.stats.prefilter_checked += 1;
                 let rejected = pf.filter.rejects(block);
                 if rejected {
                     pf.rejected += 1;
+                    self.stats.prefilter_rejected += 1;
                 }
                 if pf.checked == Self::PREFILTER_PROBATION && pf.rejected == 0 {
                     // The stream never benefits; stop paying the scan.
                     pf.live = false;
+                    self.stats.prefilter_disabled += 1;
                 }
                 if rejected {
+                    self.stats.bytes_prefilter_skipped += block.len() as u64;
                     return false;
                 }
             }
         }
         if self.block_ready {
+            // The word loop consumes the aligned portion; the sub-word
+            // tail goes through `on_byte`, which counts itself.
+            self.stats.bytes_block += (block.len() & !(swar::WORD_BYTES - 1)) as u64;
             self.on_block_swar(block);
         } else {
             for &b in block {
@@ -1545,6 +1590,21 @@ impl crate::backend::FilterBackend for Engine {
 
     fn reset(&mut self) {
         Engine::reset(self);
+    }
+
+    fn flush_telemetry(&mut self) {
+        let s = std::mem::take(&mut self.stats);
+        if s.is_empty() {
+            return;
+        }
+        let m = crate::metrics::engine_metrics();
+        m.records.add(s.records);
+        m.bytes_block.add(s.bytes_block);
+        m.bytes_byte_serial.add(s.bytes_byte_serial);
+        m.bytes_prefilter_skipped.add(s.bytes_prefilter_skipped);
+        m.prefilter_checked.add(s.prefilter_checked);
+        m.prefilter_rejected.add(s.prefilter_rejected);
+        m.prefilter_disabled.add(s.prefilter_disabled);
     }
 }
 

@@ -80,6 +80,7 @@ pub mod engine;
 pub mod eval;
 pub mod evaluator;
 pub mod expr;
+mod metrics;
 pub mod multi;
 mod prefilter;
 pub mod primitive;

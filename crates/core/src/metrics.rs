@@ -1,0 +1,72 @@
+//! Cached handles to the global telemetry counters the engines flush
+//! into.
+//!
+//! The hot paths never touch the registry: [`Engine`](crate::Engine)
+//! and [`MultiEngine`](crate::multi::MultiEngine) accumulate per-stream
+//! stats in plain `u64` fields and flush them here once per stream
+//! (`flush_telemetry`, called by the stream drivers). Each handle
+//! struct is resolved once per process; after that a flush is a handful
+//! of relaxed atomic adds — and nothing at all under `telemetry-off`.
+
+use rfjson_telemetry::Counter;
+use std::sync::OnceLock;
+
+/// `engine.*` counter handles (single-query [`Engine`](crate::Engine)).
+pub(crate) struct EngineMetrics {
+    /// `engine.records`: records entering `on_block` from a fresh reset.
+    pub records: &'static Counter,
+    /// `engine.bytes.block`: bytes scanned by the SWAR word loop.
+    pub bytes_block: &'static Counter,
+    /// `engine.bytes.byte_serial`: bytes through the serial `on_byte`
+    /// path (fallback programs, sub-word tails, separators).
+    pub bytes_byte_serial: &'static Counter,
+    /// `engine.bytes.prefilter_skipped`: bytes never scanned because the
+    /// literal prefilter rejected the whole record.
+    pub bytes_prefilter_skipped: &'static Counter,
+    /// `engine.prefilter.checked`: records the live prefilter examined.
+    pub prefilter_checked: &'static Counter,
+    /// `engine.prefilter.rejected`: records it proved `NoMatch`.
+    pub prefilter_rejected: &'static Counter,
+    /// `engine.prefilter.disabled`: probation-end self-disable events.
+    pub prefilter_disabled: &'static Counter,
+}
+
+pub(crate) fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        records: rfjson_telemetry::counter("engine.records"),
+        bytes_block: rfjson_telemetry::counter("engine.bytes.block"),
+        bytes_byte_serial: rfjson_telemetry::counter("engine.bytes.byte_serial"),
+        bytes_prefilter_skipped: rfjson_telemetry::counter("engine.bytes.prefilter_skipped"),
+        prefilter_checked: rfjson_telemetry::counter("engine.prefilter.checked"),
+        prefilter_rejected: rfjson_telemetry::counter("engine.prefilter.rejected"),
+        prefilter_disabled: rfjson_telemetry::counter("engine.prefilter.disabled"),
+    })
+}
+
+/// `multi.*` counter handles (fused [`MultiEngine`](crate::multi::MultiEngine)).
+pub(crate) struct MultiMetrics {
+    /// `multi.records`: records scored by a fused batch scan.
+    pub records: &'static Counter,
+    /// `multi.bytes.block`: bytes scanned by the fused SWAR word loop.
+    pub bytes_block: &'static Counter,
+    /// `multi.bytes.byte_serial`: bytes through the fused serial path.
+    pub bytes_byte_serial: &'static Counter,
+    /// `multi.gate_skips.sub1`: words where the pooled single-byte
+    /// substring bank was skipped by the 256-bit any-unit gate.
+    pub gate_skips_sub1: &'static Counter,
+    /// `multi.gate_skips.subp`: bytes where the pooled packed-substring
+    /// scan was skipped by its any-unit gate.
+    pub gate_skips_subp: &'static Counter,
+}
+
+pub(crate) fn multi_metrics() -> &'static MultiMetrics {
+    static METRICS: OnceLock<MultiMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MultiMetrics {
+        records: rfjson_telemetry::counter("multi.records"),
+        bytes_block: rfjson_telemetry::counter("multi.bytes.block"),
+        bytes_byte_serial: rfjson_telemetry::counter("multi.bytes.byte_serial"),
+        gate_skips_sub1: rfjson_telemetry::counter("multi.gate_skips.sub1"),
+        gate_skips_subp: rfjson_telemetry::counter("multi.gate_skips.subp"),
+    })
+}

@@ -60,6 +60,7 @@ use rfjson_jsonstream::frame::{
     is_blank_line, trim_cr, IngestLimits, LimitedAction, LimitedFramer, SkipReason, Verdict,
 };
 use rfjson_jsonstream::swar;
+use rfjson_jsonstream::telemetry::FramingTally;
 use rfjson_redfa::range::is_number_byte;
 use rfjson_redfa::DENSE_ACCEPT_BIT;
 use std::collections::HashMap;
@@ -265,6 +266,9 @@ pub struct MultiEngine {
     subp_any: [u64; 4],
 
     // ---- mutable per-stream state ----
+    /// Telemetry accumulated in plain locals on the hot path and flushed
+    /// to the global registry once per stream (`flush_telemetry`).
+    stats: MultiStats,
     sdfa_state: Vec<u16>,
     num_state: Vec<u16>,
     /// All number units share one token trajectory, so one flag covers
@@ -277,6 +281,32 @@ pub struct MultiEngine {
     /// (lanes are single-word there by eligibility).
     lane_fires: Vec<u64>,
     tracker: StreamTracker,
+}
+
+/// Per-stream telemetry the fused engine accumulates in plain `u64`
+/// fields — no atomics on the byte path. Drained into the global
+/// `multi.*` counters by `flush_telemetry`, which the batch stream
+/// drivers call once per stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct MultiStats {
+    /// Bytes scanned by the fused SWAR word loop (aligned portion).
+    bytes_block: u64,
+    /// Bytes through the fused serial path (fallback batches, tails,
+    /// separators).
+    bytes_byte_serial: u64,
+    /// Words where the pooled sub1 bank loop was gate-skipped.
+    sub1_gate_skips: u64,
+    /// Bytes where the pooled packed-substring scan was gate-skipped.
+    subp_gate_skips: u64,
+}
+
+impl MultiStats {
+    fn is_empty(&self) -> bool {
+        self.bytes_block == 0
+            && self.bytes_byte_serial == 0
+            && self.sub1_gate_skips == 0
+            && self.subp_gate_skips == 0
+    }
 }
 
 impl MultiEngine {
@@ -336,6 +366,7 @@ impl MultiEngine {
             sub1_any: [0; 4],
             subp_gate: Vec::new(),
             subp_any: [0; 4],
+            stats: MultiStats::default(),
             sdfa_state: Vec::new(),
             num_state: Vec::new(),
             num_in_token: false,
@@ -658,6 +689,7 @@ impl MultiEngine {
 
     /// Advances every lane one cycle over one shared scan of the byte.
     pub fn on_byte(&mut self, byte: u8) {
+        self.stats.bytes_byte_serial += 1;
         let mut ev = ByteEvent {
             depth: 0,
             is_close: false,
@@ -755,6 +787,9 @@ impl MultiEngine {
     /// would do, with the SWAR word loop when the batch is eligible.
     pub fn on_block(&mut self, block: &[u8]) {
         if self.block_ready {
+            // The word loop consumes the aligned portion; the sub-word
+            // tail goes through `on_byte`, which counts itself.
+            self.stats.bytes_block += (block.len() & !(swar::WORD_BYTES - 1)) as u64;
             self.on_block_swar(block);
         } else {
             for &b in block {
@@ -791,6 +826,11 @@ impl MultiEngine {
         let sub1_any = self.sub1_any;
         let subp_any = self.subp_any;
         let mut subp_live = self.subp_counter.iter().any(|&c| c != 0);
+        // Gate-skip tallies (one local add per skipped byte, folded into
+        // `stats` at sync-out): how often the cross-query any-unit gates
+        // actually save the pooled scans.
+        let mut sub1_skips = 0u64;
+        let mut subp_skips = 0u64;
 
         let mut chunks = block.chunks_exact(swar::WORD_BYTES);
         for chunk in chunks.by_ref() {
@@ -837,6 +877,7 @@ impl MultiEngine {
                         }
                     }
                 } else {
+                    sub1_skips += u64::from(nsub1 != 0);
                     for bank in c1.iter_mut().take(banks) {
                         *bank = 0;
                     }
@@ -869,11 +910,14 @@ impl MultiEngine {
                             }
                         }
                         subp_live = true;
-                    } else if subp_live {
-                        for c in &mut self.subp_counter {
-                            *c = 0;
+                    } else {
+                        subp_skips += 1;
+                        if subp_live {
+                            for c in &mut self.subp_counter {
+                                *c = 0;
+                            }
+                            subp_live = false;
                         }
-                        subp_live = false;
                     }
                 }
                 if is_number_byte(byte) {
@@ -962,6 +1006,8 @@ impl MultiEngine {
             self.subp_win[i] = win64 & self.subp_win_mask[i];
         }
         self.num_in_token = in_token;
+        self.stats.sub1_gate_skips += sub1_skips;
+        self.stats.subp_gate_skips += subp_skips;
         self.tracker.restore(in_string, pending_escape, depth);
         for &byte in chunks.remainder() {
             self.on_byte(byte);
@@ -1027,6 +1073,18 @@ impl MultiBackend for MultiEngine {
 
     fn reset(&mut self) {
         MultiEngine::reset(self);
+    }
+
+    fn flush_telemetry(&mut self) {
+        let s = std::mem::take(&mut self.stats);
+        if s.is_empty() {
+            return;
+        }
+        let m = crate::metrics::multi_metrics();
+        m.bytes_block.add(s.bytes_block);
+        m.bytes_byte_serial.add(s.bytes_byte_serial);
+        m.gate_skips_sub1.add(s.sub1_gate_skips);
+        m.gate_skips_subp.add(s.subp_gate_skips);
     }
 }
 
@@ -1207,6 +1265,12 @@ pub trait MultiBackend {
     /// Record-boundary reset of every query.
     fn reset(&mut self);
 
+    /// Flushes any internally accumulated telemetry into the global
+    /// [`rfjson_telemetry`] registry — the batch-side twin of
+    /// [`FilterBackend::flush_telemetry`]. Called by the stream drivers
+    /// once per stream; default is a no-op.
+    fn flush_telemetry(&mut self) {}
+
     /// Scans one record (appending the `\n` separator the hardware
     /// sees) and ORs each query's accept decision into `out`. Resets on
     /// entry; `out` must be zeroed by the caller.
@@ -1256,16 +1320,26 @@ pub fn run_batch_driver<M: MultiBackend + ?Sized>(
     let words = out.words_per_record();
     let mut acc = vec![0u64; words];
     let mut framer = LimitedFramer::new(limits);
+    let mut tally = FramingTally::new();
+    let mut scored = 0u64;
+    let mut prev_cr = false;
     for &b in stream {
         match framer.on_byte(b) {
             LimitedAction::Feed { quarantined } => {
+                prev_cr = b == b'\r';
                 if !quarantined {
                     backend.on_byte(b);
                 }
             }
             LimitedAction::EndRecord(end) => {
+                tally.records += 1;
+                tally.cr_records += u64::from(prev_cr);
+                prev_cr = false;
                 match end.skip {
-                    Some(reason) => out.push_skipped(reason),
+                    Some(reason) => {
+                        tally.quarantine(&reason);
+                        out.push_skipped(reason);
+                    }
                     None => {
                         // Feed the separator the hardware would see; the
                         // latched accepts after it are the decisions.
@@ -1273,16 +1347,26 @@ pub fn run_batch_driver<M: MultiBackend + ?Sized>(
                         acc.fill(0);
                         backend.write_accepts(&mut acc);
                         out.push_scored(&acc);
+                        scored += 1;
                     }
                 }
                 backend.reset();
             }
-            LimitedAction::EndBlank => backend.reset(),
+            LimitedAction::EndBlank => {
+                tally.blank_lines += 1;
+                prev_cr = false;
+                backend.reset();
+            }
         }
     }
     if let Some(end) = framer.finish() {
+        tally.records += 1;
+        tally.cr_records += u64::from(prev_cr);
         match end.skip {
-            Some(reason) => out.push_skipped(reason),
+            Some(reason) => {
+                tally.quarantine(&reason);
+                out.push_skipped(reason);
+            }
             None => {
                 // EOF close: the last content byte's latched accepts OR
                 // the synthetic separator's, per the framing rules.
@@ -1291,10 +1375,14 @@ pub fn run_batch_driver<M: MultiBackend + ?Sized>(
                 backend.on_byte(b'\n');
                 backend.write_accepts(&mut acc);
                 out.push_scored(&acc);
+                scored += 1;
             }
         }
         backend.reset();
     }
+    tally.flush();
+    crate::metrics::multi_metrics().records.add(scored);
+    backend.flush_telemetry();
 }
 
 /// Record-at-a-time batch driver behind the provided stream methods:
@@ -1314,6 +1402,8 @@ pub fn run_batch_driver_blocks<M: MultiBackend + ?Sized>(
     backend.reset();
     let words = out.words_per_record();
     let mut acc = vec![0u64; words];
+    let mut tally = FramingTally::new();
+    let mut scored = 0u64;
     let mut records_seen = 0usize;
     let mut rest = stream;
     let mut trailing = false;
@@ -1330,9 +1420,14 @@ pub fn run_batch_driver_blocks<M: MultiBackend + ?Sized>(
             }
         };
         if is_blank_line(line) {
+            // Only separator-terminated blanks count — same rule as the
+            // single-query blocks driver.
+            tally.blank_lines += u64::from(!trailing);
             continue; // no verdict, lanes already at reset state
         }
         let content = trim_cr(line).len();
+        tally.records += 1;
+        tally.cr_records += u64::from(content < line.len());
         let index = records_seen;
         records_seen += 1;
         let skip = match limits.max_records {
@@ -1346,7 +1441,10 @@ pub fn run_batch_driver_blocks<M: MultiBackend + ?Sized>(
             },
         };
         match skip {
-            Some(reason) => out.push_skipped(reason),
+            Some(reason) => {
+                tally.quarantine(&reason);
+                out.push_skipped(reason);
+            }
             None => {
                 acc.fill(0);
                 backend.on_block(line);
@@ -1357,10 +1455,14 @@ pub fn run_batch_driver_blocks<M: MultiBackend + ?Sized>(
                 backend.on_byte(b'\n');
                 backend.write_accepts(&mut acc);
                 out.push_scored(&acc);
+                scored += 1;
             }
         }
         backend.reset();
     }
+    tally.flush();
+    crate::metrics::multi_metrics().records.add(scored);
+    backend.flush_telemetry();
 }
 
 /// The serial reference [`MultiBackend`]: N independent single-query
@@ -1430,6 +1532,14 @@ impl<B: FilterBackend> MultiBackend for MultiLanes<B> {
             lane.reset();
         }
         self.accept.fill(false);
+    }
+
+    fn flush_telemetry(&mut self) {
+        // The serial reference has no pooled stats of its own; its inner
+        // single-query lanes may (e.g. `MultiLanes<Engine>`).
+        for lane in &mut self.lanes {
+            lane.flush_telemetry();
+        }
     }
 }
 

@@ -25,6 +25,7 @@ pub mod mask;
 pub mod nesting;
 pub mod parser;
 pub mod swar;
+pub mod telemetry;
 pub mod value;
 pub mod write;
 

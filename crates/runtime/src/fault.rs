@@ -269,6 +269,10 @@ impl<B: FilterBackend> FilterBackend for FaultyBackend<B> {
         self.inner.reset();
     }
 
+    fn flush_telemetry(&mut self) {
+        self.inner.flush_telemetry();
+    }
+
     fn filter_stream_verdicts_into(
         &mut self,
         stream: &[u8],

@@ -80,6 +80,8 @@
 #[cfg(any(test, feature = "fault"))]
 pub mod fault;
 
+mod metrics;
+
 use rfjson_core::backend::FilterBackend;
 use rfjson_core::expr::Expr;
 use rfjson_core::multi::{BatchVerdicts, MultiBackend, MultiLanes};
@@ -415,15 +417,16 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
             // but the same fault ladder.
             if let Some(r) = ranges.first() {
                 let shard = &stream[r.clone()];
-                match run_lane(&mut self.lanes[0], shard, lane_limits) {
-                    Ok(v) => out.extend_from_slice(&v),
+                let v = match run_lane(&mut self.lanes[0], shard, lane_limits) {
+                    Ok(v) => v,
                     Err(Fault) => {
                         self.heal_lane(0);
                         let expected = split_records(shard).count();
-                        let v = self.retry_shard(0, 0, shard, lane_limits, expected)?;
-                        out.extend_from_slice(&v);
+                        self.retry_shard(0, 0, shard, lane_limits, expected)?
                     }
-                }
+                };
+                metrics::metrics().shard_records.record(v.len() as u64);
+                out.extend_from_slice(&v);
             }
         } else {
             let results = fan_out(&mut self.lanes, stream, &ranges, |lane, shard| {
@@ -436,15 +439,15 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
             for (shard_idx, (result, range)) in results.into_iter().zip(&ranges).enumerate() {
                 let shard = &stream[range.clone()];
                 let expected = split_records(shard).count();
-                match result {
-                    Ok(v) => out.extend_from_slice(&v),
+                let v = match result {
+                    Ok(v) => v,
                     Err(Fault) => {
                         self.heal_lane(shard_idx);
-                        let v =
-                            self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?;
-                        out.extend_from_slice(&v);
+                        self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?
                     }
-                }
+                };
+                metrics::metrics().shard_records.record(v.len() as u64);
+                out.extend_from_slice(&v);
                 record_base += expected;
             }
         }
@@ -456,6 +459,26 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
                 *v = Verdict::Skipped(SkipReason::RecordLimit { limit: m });
             }
         }
+        let m = metrics::metrics();
+        m.streams.incr();
+        m.bytes.add(stream.len() as u64);
+        metrics::record_shard_plan(&ranges);
+        let (mut matched, mut unmatched, mut too_long, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
+        for v in &out[base..] {
+            match v {
+                Verdict::Match => matched += 1,
+                Verdict::NoMatch => unmatched += 1,
+                Verdict::Skipped(SkipReason::TooLong { .. }) => too_long += 1,
+                // Catch-all keeps records == matched + unmatched +
+                // skipped.* exact even if SkipReason grows a variant.
+                Verdict::Skipped(_) => over_budget += 1,
+            }
+        }
+        m.records.add(matched + unmatched + too_long + over_budget);
+        m.matched.add(matched);
+        m.unmatched.add(unmatched);
+        m.skipped_too_long.add(too_long);
+        m.skipped_record_limit.add(over_budget);
         Ok(())
     }
 
@@ -481,6 +504,7 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
     /// driver resets its lanes at stream start, and a still-broken lane
     /// simply fails (and is retried) again on its next use.
     fn heal_lane(&mut self, i: usize) {
+        metrics::metrics().lane_heals.incr();
         let expr = &self.expr;
         if let Ok(Ok(fresh)) = catch_unwind(AssertUnwindSafe(|| B::try_compile(expr))) {
             self.lanes[i] = fresh;
@@ -498,9 +522,13 @@ impl<B: FilterBackend + Send, R: FilterBackend> ShardedRunner<B, R> {
         limits: IngestLimits,
         expected: usize,
     ) -> Result<Vec<Verdict>, RuntimeError> {
-        let failed = || RuntimeError::ShardFailed {
-            shard: shard_idx,
-            records: record_base..record_base + expected,
+        metrics::metrics().retries.incr();
+        let failed = || {
+            metrics::metrics().double_faults.incr();
+            RuntimeError::ShardFailed {
+                shard: shard_idx,
+                records: record_base..record_base + expected,
+            }
         };
         if self.retry_lane.is_none() {
             let expr = &self.expr;
@@ -747,15 +775,18 @@ impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
         if ranges.len() <= 1 {
             if let Some(r) = ranges.first() {
                 let shard = &stream[r.clone()];
-                match run_multi_lane(&mut self.lanes[0], shard, lane_limits) {
-                    Ok(v) => out.append(&v),
+                let v = match run_multi_lane(&mut self.lanes[0], shard, lane_limits) {
+                    Ok(v) => v,
                     Err(Fault) => {
                         self.heal_lane(0);
                         let expected = split_records(shard).count();
-                        let v = self.retry_shard(0, 0, shard, lane_limits, expected)?;
-                        out.append(&v);
+                        self.retry_shard(0, 0, shard, lane_limits, expected)?
                     }
-                }
+                };
+                metrics::metrics()
+                    .shard_records
+                    .record(v.num_records() as u64);
+                out.append(&v);
             }
         } else {
             let results = fan_out(&mut self.lanes, stream, &ranges, |lane, shard| {
@@ -765,15 +796,17 @@ impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
             for (shard_idx, (result, range)) in results.into_iter().zip(&ranges).enumerate() {
                 let shard = &stream[range.clone()];
                 let expected = split_records(shard).count();
-                match result {
-                    Ok(v) => out.append(&v),
+                let v = match result {
+                    Ok(v) => v,
                     Err(Fault) => {
                         self.heal_lane(shard_idx);
-                        let v =
-                            self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?;
-                        out.append(&v);
+                        self.retry_shard(shard_idx, record_base, shard, lane_limits, expected)?
                     }
-                }
+                };
+                metrics::metrics()
+                    .shard_records
+                    .record(v.num_records() as u64);
+                out.append(&v);
                 record_base += expected;
             }
         }
@@ -783,6 +816,27 @@ impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
         if let Some(m) = limits.max_records {
             out.quarantine_from(m, SkipReason::RecordLimit { limit: m });
         }
+        let m = metrics::metrics();
+        m.streams.incr();
+        m.bytes.add(stream.len() as u64);
+        metrics::record_shard_plan(&ranges);
+        let (mut matched, mut unmatched, mut too_long, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
+        for r in 0..out.num_records() {
+            match out.skip(r) {
+                Some(SkipReason::TooLong { .. }) => too_long += 1,
+                // Catch-all keeps records == matched + unmatched +
+                // skipped.* exact even if SkipReason grows a variant.
+                Some(_) => over_budget += 1,
+                // A record "matches" the batch when any query accepts it.
+                None if (0..self.exprs.len()).any(|q| out.matched(r, q)) => matched += 1,
+                None => unmatched += 1,
+            }
+        }
+        m.records.add(matched + unmatched + too_long + over_budget);
+        m.matched.add(matched);
+        m.unmatched.add(unmatched);
+        m.skipped_too_long.add(too_long);
+        m.skipped_record_limit.add(over_budget);
         Ok(out)
     }
 
@@ -807,6 +861,7 @@ impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
     /// fault (same keep-on-recompile-failure policy as
     /// [`ShardedRunner`]).
     fn heal_lane(&mut self, i: usize) {
+        metrics::metrics().lane_heals.incr();
         let exprs = &self.exprs;
         if let Ok(Ok(fresh)) = catch_unwind(AssertUnwindSafe(|| M::try_compile_batch(exprs))) {
             self.lanes[i] = fresh;
@@ -823,9 +878,13 @@ impl<M: MultiBackend + Send, R: MultiBackend> MultiShardedRunner<M, R> {
         limits: IngestLimits,
         expected: usize,
     ) -> Result<BatchVerdicts, RuntimeError> {
-        let failed = || RuntimeError::ShardFailed {
-            shard: shard_idx,
-            records: record_base..record_base + expected,
+        metrics::metrics().retries.incr();
+        let failed = || {
+            metrics::metrics().double_faults.incr();
+            RuntimeError::ShardFailed {
+                shard: shard_idx,
+                records: record_base..record_base + expected,
+            }
         };
         if self.retry_lane.is_none() {
             let exprs = &self.exprs;

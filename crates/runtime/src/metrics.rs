@@ -1,0 +1,82 @@
+//! Cached handles to the global `runtime.*` metrics.
+//!
+//! The sharded runners tally per-stream facts (verdict counts by
+//! outcome, per-shard sizes, heal/retry events) and flush them here —
+//! once per stream or per fault event, never per record byte. Handles
+//! resolve once per process; under `telemetry-off` every call site
+//! compiles to nothing.
+
+use rfjson_telemetry::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct RuntimeMetrics {
+    /// `runtime.streams`: stream-filter calls completed (either runner).
+    pub streams: &'static Counter,
+    /// `runtime.records`: records reported (matched + unmatched +
+    /// skipped), after the global budget.
+    pub records: &'static Counter,
+    /// `runtime.bytes`: stream bytes presented to the runners.
+    pub bytes: &'static Counter,
+    /// `runtime.matched`: records matching (any query, for batches).
+    pub matched: &'static Counter,
+    /// `runtime.unmatched`: scored records matching nothing.
+    pub unmatched: &'static Counter,
+    /// `runtime.skipped.too_long`: quarantined for record length.
+    pub skipped_too_long: &'static Counter,
+    /// `runtime.skipped.record_limit`: quarantined past the budget.
+    pub skipped_record_limit: &'static Counter,
+    /// `runtime.lane_heals`: lane recompiles after a caught fault.
+    pub lane_heals: &'static Counter,
+    /// `runtime.retries`: serial reference-backend retries of a shard.
+    pub retries: &'static Counter,
+    /// `runtime.double_faults`: retries that failed too (stream error).
+    pub double_faults: &'static Counter,
+    /// `runtime.shard_bytes`: per-shard byte-length distribution.
+    pub shard_bytes: &'static Histogram,
+    /// `runtime.shard_records`: per-shard record-count distribution.
+    pub shard_records: &'static Histogram,
+    /// `runtime.shard_imbalance`: `(max - min) / max` shard bytes of the
+    /// most recent fanned-out stream (0 = perfectly even).
+    pub shard_imbalance: &'static Gauge,
+}
+
+pub(crate) fn metrics() -> &'static RuntimeMetrics {
+    static METRICS: OnceLock<RuntimeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RuntimeMetrics {
+        streams: rfjson_telemetry::counter("runtime.streams"),
+        records: rfjson_telemetry::counter("runtime.records"),
+        bytes: rfjson_telemetry::counter("runtime.bytes"),
+        matched: rfjson_telemetry::counter("runtime.matched"),
+        unmatched: rfjson_telemetry::counter("runtime.unmatched"),
+        skipped_too_long: rfjson_telemetry::counter("runtime.skipped.too_long"),
+        skipped_record_limit: rfjson_telemetry::counter("runtime.skipped.record_limit"),
+        lane_heals: rfjson_telemetry::counter("runtime.lane_heals"),
+        retries: rfjson_telemetry::counter("runtime.retries"),
+        double_faults: rfjson_telemetry::counter("runtime.double_faults"),
+        shard_bytes: rfjson_telemetry::histogram("runtime.shard_bytes"),
+        shard_records: rfjson_telemetry::histogram("runtime.shard_records"),
+        shard_imbalance: rfjson_telemetry::gauge("runtime.shard_imbalance"),
+    })
+}
+
+/// Records the shard-size distribution and imbalance gauge for one
+/// stream's plan.
+pub(crate) fn record_shard_plan(ranges: &[std::ops::Range<usize>]) {
+    let m = metrics();
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for r in ranges {
+        let len = r.len() as u64;
+        m.shard_bytes.record(len);
+        min = min.min(len);
+        max = max.max(len);
+    }
+    if !ranges.is_empty() {
+        let imbalance = if ranges.len() > 1 && max > 0 {
+            (max - min) as f64 / max as f64
+        } else {
+            0.0
+        };
+        m.shard_imbalance.set(imbalance);
+    }
+}

@@ -1,0 +1,868 @@
+//! # rfjson-telemetry — pipeline counters, gauges, and histograms
+//!
+//! The paper's FPGA pipeline is attractive precisely because its
+//! per-stage throughput is knowable: every stage exposes counters a
+//! monitor can read. This crate is the software form of that
+//! visibility — a zero-dependency metrics layer cheap enough to stay
+//! compiled in by default:
+//!
+//! * [`Counter`] — a monotonic `u64` (relaxed atomic adds);
+//! * [`Gauge`] — a last-write-wins `f64` (e.g. shard imbalance);
+//! * [`Histogram`] — fixed log2 buckets (65: zero plus one per
+//!   significant-bit count), count and sum;
+//! * [`Registry`] — the process-global name → metric table, keyed by
+//!   `&'static str`. [`counter`]/[`gauge`]/[`histogram`] get-or-create a
+//!   handle; handles are `&'static`, so call sites pay one map lookup at
+//!   first use and plain atomic ops after.
+//!
+//! [`Registry::snapshot`] freezes everything into a [`Snapshot`] —
+//! plain sorted maps with a stable hand-written JSON text form (no
+//! serde) and a [`Snapshot::delta`] for before/after diffing, which is
+//! how the conservation-law tests and the benchmark harness read the
+//! pipeline.
+//!
+//! # The `telemetry-off` feature
+//!
+//! With `telemetry-off` enabled every metric type is a zero-sized no-op
+//! and the registry always snapshots empty, proving the instrumented
+//! hot paths cost nothing when compiled out. The API surface is
+//! identical, so instrumented crates build unchanged; [`ENABLED`] lets
+//! tests skip assertions that need live counters.
+//!
+//! ```
+//! use rfjson_telemetry as telemetry;
+//!
+//! let before = telemetry::registry().snapshot();
+//! telemetry::counter("demo.records").add(3);
+//! let delta = telemetry::registry().snapshot().delta(&before);
+//! if telemetry::ENABLED {
+//!     assert_eq!(delta.counter("demo.records"), 3);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Whether metrics are live in this build (`false` under the
+/// `telemetry-off` feature). Tests asserting on counter values guard on
+/// this; production code never needs it — the no-op surface absorbs
+/// every call.
+pub const ENABLED: bool = cfg!(not(feature = "telemetry-off"));
+
+/// Schema identifier written into every [`Snapshot::to_json`] document.
+pub const SNAPSHOT_SCHEMA: &str = "rfjson-telemetry/v1";
+
+/// Number of histogram buckets: bucket 0 for value 0, bucket `k` for
+/// values with `k` significant bits (`2^(k-1) ..= 2^k - 1`), up to
+/// bucket 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket a value lands in: 0 → 0, otherwise the value's
+/// significant-bit count (1 → 1, 2..=3 → 2, …, `u64::MAX` → 64).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    64 - value.leading_zeros() as usize
+}
+
+/// Smallest value belonging to bucket `index` (0 for bucket 0,
+/// `2^(index-1)` otherwise).
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index");
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+mod active {
+    use super::{bucket_index, HistogramSnapshot, Snapshot, HISTOGRAM_BUCKETS};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// A monotonically increasing metric (relaxed atomic adds — safe
+    /// from any thread, never torn).
+    #[derive(Debug, Default)]
+    pub struct Counter {
+        value: AtomicU64,
+    }
+
+    impl Counter {
+        /// A counter at zero.
+        pub const fn new() -> Counter {
+            Counter {
+                value: AtomicU64::new(0),
+            }
+        }
+
+        /// Adds `n`.
+        #[inline]
+        pub fn add(&self, n: u64) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Adds one.
+        #[inline]
+        pub fn incr(&self) {
+            self.add(1);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+    }
+
+    /// A last-write-wins `f64` metric (stored as bits in an atomic).
+    #[derive(Debug, Default)]
+    pub struct Gauge {
+        bits: AtomicU64,
+    }
+
+    impl Gauge {
+        /// A gauge at `0.0`.
+        pub const fn new() -> Gauge {
+            Gauge {
+                bits: AtomicU64::new(0),
+            }
+        }
+
+        /// Sets the value (non-finite values are stored as `0.0` so the
+        /// JSON snapshot stays valid).
+        pub fn set(&self, value: f64) {
+            let v = if value.is_finite() { value } else { 0.0 };
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> f64 {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// A fixed-log2-bucket histogram: per-bucket hit counts plus total
+    /// count and sum.
+    ///
+    /// Ordering guarantees one per-metric tear-freedom invariant for
+    /// concurrent snapshots: [`Histogram::record`] publishes the bucket
+    /// and sum *before* the count (release), and a snapshot reads the
+    /// count first (acquire) — so a snapshot never observes more counted
+    /// records than bucket entries (`count ≤ Σ buckets`).
+    #[derive(Debug)]
+    pub struct Histogram {
+        count: AtomicU64,
+        sum: AtomicU64,
+        buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    }
+
+    impl Histogram {
+        /// An empty histogram.
+        pub const fn new() -> Histogram {
+            Histogram {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            }
+        }
+
+        /// Records one observation.
+        pub fn record(&self, value: u64) {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            // Release pairs with the acquire in `snapshot_into`: a count
+            // increment is visible only after its bucket entry is.
+            self.count.fetch_add(1, Ordering::Release);
+        }
+
+        /// Observations recorded so far.
+        pub fn count(&self) -> u64 {
+            self.count.load(Ordering::Acquire)
+        }
+
+        /// Sum of all recorded values.
+        pub fn sum(&self) -> u64 {
+            self.sum.load(Ordering::Relaxed)
+        }
+
+        /// Hits in bucket `index` (see [`super::bucket_index`]).
+        pub fn bucket(&self, index: usize) -> u64 {
+            self.buckets[index].load(Ordering::Relaxed)
+        }
+
+        fn freeze(&self) -> HistogramSnapshot {
+            // Count first (acquire): every record visible in it has its
+            // bucket entry visible below.
+            let count = self.count();
+            let sum = self.sum();
+            let mut buckets = BTreeMap::new();
+            for (i, b) in self.buckets.iter().enumerate() {
+                let hits = b.load(Ordering::Relaxed);
+                if hits != 0 {
+                    buckets.insert(i, hits);
+                }
+            }
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            }
+        }
+    }
+
+    impl Default for Histogram {
+        fn default() -> Histogram {
+            Histogram::new()
+        }
+    }
+
+    /// The process-global name → metric table. Metric handles are
+    /// `&'static` (leaked once per name, never per call), so the map
+    /// lock is paid only on the first use of a name and on snapshots —
+    /// never on the increment path.
+    #[derive(Debug, Default)]
+    pub struct Registry {
+        counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+        gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+        histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    }
+
+    fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    impl Registry {
+        /// The counter registered under `name`, created at zero on first
+        /// use.
+        pub fn counter(&self, name: &'static str) -> &'static Counter {
+            locked(&self.counters)
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+        }
+
+        /// The gauge registered under `name`, created at `0.0` on first
+        /// use.
+        pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+            locked(&self.gauges)
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+        }
+
+        /// The histogram registered under `name`, created empty on first
+        /// use.
+        pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+            locked(&self.histograms)
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+        }
+
+        /// Freezes every registered metric into a [`Snapshot`].
+        pub fn snapshot(&self) -> Snapshot {
+            let counters = locked(&self.counters)
+                .iter()
+                .map(|(&n, c)| (n.to_string(), c.get()))
+                .collect();
+            let gauges = locked(&self.gauges)
+                .iter()
+                .map(|(&n, g)| (n.to_string(), g.get()))
+                .collect();
+            let histograms = locked(&self.histograms)
+                .iter()
+                .map(|(&n, h)| (n.to_string(), h.freeze()))
+                .collect();
+            Snapshot {
+                counters,
+                gauges,
+                histograms,
+            }
+        }
+    }
+
+    /// The process-global [`Registry`].
+    pub fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(Registry::default)
+    }
+
+    /// Get-or-create the global counter `name`.
+    pub fn counter(name: &'static str) -> &'static Counter {
+        registry().counter(name)
+    }
+
+    /// Get-or-create the global gauge `name`.
+    pub fn gauge(name: &'static str) -> &'static Gauge {
+        registry().gauge(name)
+    }
+
+    /// Get-or-create the global histogram `name`.
+    pub fn histogram(name: &'static str) -> &'static Histogram {
+        registry().histogram(name)
+    }
+}
+
+#[cfg(feature = "telemetry-off")]
+mod noop {
+    use super::Snapshot;
+
+    /// No-op counter (`telemetry-off`): zero-sized, every method inert.
+    #[derive(Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        /// A counter at zero (and forever at zero in this build).
+        pub const fn new() -> Counter {
+            Counter
+        }
+
+        /// Discards `n`.
+        #[inline]
+        pub fn add(&self, n: u64) {
+            let _ = n;
+        }
+
+        /// Discards the increment.
+        #[inline]
+        pub fn incr(&self) {}
+
+        /// Always zero.
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op gauge (`telemetry-off`).
+    #[derive(Debug, Default)]
+    pub struct Gauge;
+
+    impl Gauge {
+        /// A gauge at `0.0`.
+        pub const fn new() -> Gauge {
+            Gauge
+        }
+
+        /// Discards the value.
+        pub fn set(&self, value: f64) {
+            let _ = value;
+        }
+
+        /// Always `0.0`.
+        pub fn get(&self) -> f64 {
+            0.0
+        }
+    }
+
+    /// No-op histogram (`telemetry-off`).
+    #[derive(Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// An empty histogram (and forever empty in this build).
+        pub const fn new() -> Histogram {
+            Histogram
+        }
+
+        /// Discards the observation.
+        pub fn record(&self, value: u64) {
+            let _ = value;
+        }
+
+        /// Always zero.
+        pub fn count(&self) -> u64 {
+            0
+        }
+
+        /// Always zero.
+        pub fn sum(&self) -> u64 {
+            0
+        }
+
+        /// Always zero.
+        pub fn bucket(&self, index: usize) -> u64 {
+            let _ = index;
+            0
+        }
+    }
+
+    /// No-op registry (`telemetry-off`): hands out shared inert metrics
+    /// and snapshots empty.
+    #[derive(Debug, Default)]
+    pub struct Registry;
+
+    impl Registry {
+        /// The shared inert counter.
+        pub fn counter(&self, name: &'static str) -> &'static Counter {
+            static NOOP: Counter = Counter::new();
+            let _ = name;
+            &NOOP
+        }
+
+        /// The shared inert gauge.
+        pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+            static NOOP: Gauge = Gauge::new();
+            let _ = name;
+            &NOOP
+        }
+
+        /// The shared inert histogram.
+        pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+            static NOOP: Histogram = Histogram::new();
+            let _ = name;
+            &NOOP
+        }
+
+        /// Always the empty snapshot.
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::default()
+        }
+    }
+
+    /// The process-global (inert) [`Registry`].
+    pub fn registry() -> &'static Registry {
+        static REGISTRY: Registry = Registry;
+        &REGISTRY
+    }
+
+    /// The shared inert counter.
+    pub fn counter(name: &'static str) -> &'static Counter {
+        registry().counter(name)
+    }
+
+    /// The shared inert gauge.
+    pub fn gauge(name: &'static str) -> &'static Gauge {
+        registry().gauge(name)
+    }
+
+    /// The shared inert histogram.
+    pub fn histogram(name: &'static str) -> &'static Histogram {
+        registry().histogram(name)
+    }
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+pub use active::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Registry};
+#[cfg(feature = "telemetry-off")]
+pub use noop::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Registry};
+
+/// One histogram frozen at snapshot time: total count, total sum, and
+/// the non-empty buckets (`bucket index → hits`, see [`bucket_index`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty buckets only.
+    pub buckets: BTreeMap<usize, u64>,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all bucket hit counts (≥ `count` for a snapshot taken
+    /// during concurrent recording, == `count` at rest).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+}
+
+/// Every registered metric frozen at one instant: plain sorted maps,
+/// diffable with [`Snapshot::delta`] and serialisable to a stable JSON
+/// text with [`Snapshot::to_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter `name`, or 0 if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (entries that did not change are dropped);
+    /// gauges keep `self`'s value (a gauge is a level, not a flow).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, &v)| {
+                let d = v.saturating_sub(earlier.counter(name));
+                (d != 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let base = earlier.histograms.get(name);
+                let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
+                if count == 0 {
+                    return None;
+                }
+                let sum = h.sum.saturating_sub(base.map_or(0, |b| b.sum));
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .filter_map(|(&i, &hits)| {
+                        let d = hits
+                            .saturating_sub(base.and_then(|b| b.buckets.get(&i)).map_or(0, |&v| v));
+                        (d != 0).then_some((i, d))
+                    })
+                    .collect();
+                Some((
+                    name.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                ))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Keeps only metrics whose name starts with one of `prefixes` —
+    /// how golden tests pin a subsystem without freezing the whole
+    /// registry.
+    pub fn filtered(&self, prefixes: &[&str]) -> Snapshot {
+        let keep = |name: &String| prefixes.iter().any(|p| name.starts_with(p));
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, &v)| (n.clone(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, &v)| (n.clone(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// The stable JSON text form (hand-written, no serde): sorted names,
+    /// two-space indentation, no trailing newline. The format is a
+    /// pinned contract (see the golden-snapshot test in the root crate).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SNAPSHOT_SCHEMA}\",");
+        s.push_str("  \"counters\": {");
+        render_map(&mut s, &self.counters, |s, v| {
+            let _ = write!(s, "{v}");
+        });
+        s.push_str("},\n  \"gauges\": {");
+        render_map(&mut s, &self.gauges, |s, v| {
+            let _ = write!(s, "{}", if v.is_finite() { *v } else { 0.0 });
+        });
+        s.push_str("},\n  \"histograms\": {");
+        render_map(&mut s, &self.histograms, |s, h| {
+            let _ = write!(
+                s,
+                "{{ \"count\": {}, \"sum\": {}, \"buckets\": {{",
+                h.count, h.sum
+            );
+            for (k, (i, hits)) in h.buckets.iter().enumerate() {
+                let sep = if k == 0 { " " } else { ", " };
+                let _ = write!(s, "{sep}\"{i}\": {hits}");
+            }
+            if h.buckets.is_empty() {
+                s.push_str("} }");
+            } else {
+                s.push_str(" } }");
+            }
+        });
+        s.push_str("}\n}");
+        s
+    }
+}
+
+/// Renders one `"name": <value>` map body (between the braces the
+/// caller wrote), with each entry on its own indented line.
+fn render_map<V>(
+    s: &mut String,
+    map: &BTreeMap<String, V>,
+    mut value: impl FnMut(&mut String, &V),
+) {
+    if map.is_empty() {
+        return;
+    }
+    s.push('\n');
+    for (k, (name, v)) in map.iter().enumerate() {
+        let _ = write!(s, "    \"{}\": ", json_escape(name));
+        value(s, v);
+        s.push_str(if k + 1 == map.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ");
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // gauge round-trips are exact bit copies
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_significant_bits() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let c = Counter::new();
+        c.add(2);
+        c.incr();
+        let g = Gauge::new();
+        g.set(0.25);
+        g.set(f64::NAN); // clamped to keep JSON valid
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(300);
+        if ENABLED {
+            assert_eq!(c.get(), 3);
+            assert_eq!(g.get(), 0.0);
+            assert_eq!(h.count(), 3);
+            assert_eq!(h.sum(), 305);
+            assert_eq!(h.bucket(0), 1);
+            assert_eq!(h.bucket(3), 1);
+            assert_eq!(h.bucket(9), 1);
+        } else {
+            assert_eq!(c.get(), 0);
+            assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[test]
+    fn registry_returns_one_handle_per_name() {
+        let a = counter("test.registry.same");
+        let b = counter("test.registry.same");
+        assert!(std::ptr::eq(a, b), "one counter per name");
+        a.incr();
+        if ENABLED {
+            assert!(b.get() >= 1, "the handles alias one metric");
+            assert!(registry()
+                .snapshot()
+                .counters
+                .contains_key("test.registry.same"));
+        } else {
+            assert_eq!(registry().snapshot(), Snapshot::default());
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_and_drops_unchanged() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("a".into(), 2);
+        earlier.counters.insert("b".into(), 7);
+        let mut later = earlier.clone();
+        later.counters.insert("a".into(), 5);
+        later.counters.insert("c".into(), 1);
+        later.gauges.insert("g".into(), 0.5);
+        let d = later.delta(&earlier);
+        assert_eq!(d.counter("a"), 3);
+        assert_eq!(d.counter("b"), 0, "unchanged counters are dropped");
+        assert!(!d.counters.contains_key("b"));
+        assert_eq!(d.counter("c"), 1);
+        assert_eq!(d.gauge("g"), Some(0.5), "gauges keep the later level");
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_buckets() {
+        let mut earlier = Snapshot::default();
+        earlier.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 6,
+                buckets: [(2, 2)].into_iter().collect(),
+            },
+        );
+        let mut later = Snapshot::default();
+        later.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 5,
+                sum: 26,
+                buckets: [(2, 3), (5, 2)].into_iter().collect(),
+            },
+        );
+        let d = later.delta(&earlier);
+        let h = d.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 20);
+        assert_eq!(h.buckets, [(2, 1), (5, 2)].into_iter().collect());
+        assert!(later.delta(&later).histogram("h").is_none(), "no change");
+    }
+
+    #[test]
+    fn filtered_keeps_matching_prefixes() {
+        let mut s = Snapshot::default();
+        s.counters.insert("engine.records".into(), 1);
+        s.counters.insert("framing.records".into(), 2);
+        s.counters.insert("runtime.records".into(), 3);
+        let f = s.filtered(&["engine.", "framing."]);
+        assert_eq!(f.counters.len(), 2);
+        assert_eq!(f.counter("runtime.records"), 0);
+    }
+
+    #[test]
+    fn json_text_form_is_stable() {
+        let mut s = Snapshot::default();
+        s.counters.insert("b.two".into(), 2);
+        s.counters.insert("a.one".into(), 1);
+        s.gauges.insert("g".into(), 0.5);
+        s.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 305,
+                buckets: [(3, 2), (9, 1)].into_iter().collect(),
+            },
+        );
+        let expect = concat!(
+            "{\n",
+            "  \"schema\": \"rfjson-telemetry/v1\",\n",
+            "  \"counters\": {\n",
+            "    \"a.one\": 1,\n",
+            "    \"b.two\": 2\n",
+            "  },\n",
+            "  \"gauges\": {\n",
+            "    \"g\": 0.5\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"h\": { \"count\": 3, \"sum\": 305, \"buckets\": { \"3\": 2, \"9\": 1 } }\n",
+            "  }\n",
+            "}"
+        );
+        assert_eq!(s.to_json(), expect);
+        assert_eq!(
+            Snapshot::default().to_json(),
+            concat!(
+                "{\n",
+                "  \"schema\": \"rfjson-telemetry/v1\",\n",
+                "  \"counters\": {},\n",
+                "  \"gauges\": {},\n",
+                "  \"histograms\": {}\n",
+                "}"
+            )
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_lose_no_updates() {
+        // Satellite: the registry under concurrent increment from scoped
+        // threads — no lost updates on any metric type.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let c = counter("test.concurrent.counter");
+        let h = histogram("test.concurrent.histogram");
+        let c0 = c.get();
+        let h0 = h.count();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.incr();
+                        h.record(t as u64 * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        if ENABLED {
+            let n = THREADS as u64 * PER_THREAD;
+            assert_eq!(c.get() - c0, n);
+            assert_eq!(h.count() - h0, n);
+        }
+    }
+
+    #[test]
+    fn snapshot_during_increment_is_torn_free_per_metric() {
+        // Satellite: a snapshot racing a writer never observes a counted
+        // record without its bucket entry (count ≤ Σ buckets), thanks to
+        // the release/acquire pairing in Histogram.
+        let h = histogram("test.concurrent.torn_free");
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..50_000u64 {
+                    h.record(i);
+                }
+            });
+            for _ in 0..200 {
+                let snap = registry().snapshot();
+                if let Some(hs) = snap.histogram("test.concurrent.torn_free") {
+                    assert!(
+                        hs.count <= hs.bucket_total(),
+                        "count {} outran buckets {}",
+                        hs.count,
+                        hs.bucket_total()
+                    );
+                }
+            }
+            writer.join().unwrap();
+        });
+        if ENABLED {
+            let snap = registry().snapshot();
+            let hs = snap.histogram("test.concurrent.torn_free").unwrap();
+            assert!(hs.count >= 50_000);
+            assert_eq!(hs.count, hs.bucket_total(), "at rest the books balance");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! verification passes.
 //!
 //! ```text
-//! verify [--verbose] [--b LIST] [QUERY...]
+//! verify [--verbose] [--telemetry] [--b LIST] [QUERY...]
 //! ```
 //!
 //! * `QUERY…` — query names (`QS0`, `QS1`, `QT`); default: all of them.
@@ -10,6 +10,8 @@
 //!   query at (default `1,2`, the configurations the paper evaluates).
 //! * `--verbose` — also print info-severity diagnostics (automaton sink
 //!   structure, netlist statistics).
+//! * `--telemetry` — after the passes, print the `verify.*` telemetry
+//!   snapshot (lint counts) as JSON.
 //!
 //! After the per-query passes, every expressible (query, b) expression
 //! of the selection is fused into one batch and linted through the
@@ -27,12 +29,13 @@ use rfjson_verify::{multi::verify_batch, verify_query, Severity};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: verify [--verbose] [--b LIST] [QUERY...]");
+    eprintln!("usage: verify [--verbose] [--telemetry] [--b LIST] [QUERY...]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut verbose = false;
+    let mut telemetry = false;
     let mut blocks: Vec<usize> = vec![1, 2];
     let mut queries: Vec<Query> = Vec::new();
 
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verbose" | "-v" => verbose = true,
+            "--telemetry" => telemetry = true,
             "--b" => {
                 let Some(list) = args.next() else {
                     return usage();
@@ -82,6 +86,7 @@ fn main() -> ExitCode {
             }
             match verify_query(query, b) {
                 Ok(report) => {
+                    rfjson_telemetry::counter("verify.queries.linted").incr();
                     let verdict = if report.has_errors() {
                         failed = true;
                         "FAIL"
@@ -108,6 +113,7 @@ fn main() -> ExitCode {
         let name = format!("fused batch ({} queries)", batch.len());
         match verify_batch(&batch, &name) {
             Ok(report) => {
+                rfjson_telemetry::counter("verify.batches.linted").incr();
                 let verdict = if report.has_errors() {
                     failed = true;
                     "FAIL"
@@ -124,6 +130,13 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+    }
+
+    if telemetry {
+        let snapshot = rfjson_telemetry::registry()
+            .snapshot()
+            .filtered(&["verify."]);
+        println!("{}", snapshot.to_json());
     }
 
     if failed {

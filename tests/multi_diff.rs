@@ -9,6 +9,9 @@ use rfjson_core::multi::{MultiBackend, MultiEngine, MultiLanes};
 use rfjson_core::query::query_to_exprs;
 use rfjson_core::{Engine, Expr, FilterBackend, IngestLimits, StructScope};
 use rfjson_riotbench::{smartcity, taxi, twitter, Query};
+use rfjson_runtime::fault::{
+    silence_injected_panics, FaultKind, FaultPlan, FaultyBackend, Trigger,
+};
 use rfjson_runtime::MultiShardedRunner;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
@@ -222,6 +225,64 @@ fn quarantine_agrees_across_all_paths() {
     for exprs in batch_zoo() {
         for stream in &streams {
             assert_streamwise(&exprs, stream, limits);
+        }
+    }
+}
+
+/// A healed multi-runner lane must stay byte-identical when **reused**:
+/// the first call faults a lane mid-stream, the heal recompiles it, and
+/// the second call over the same runner must run the healed lane clean
+/// — the batch twin of `reset_regression.rs`'s reuse contract (this was
+/// previously untested: every other multi test used a fresh runner per
+/// call).
+#[test]
+fn healed_multi_lane_is_reused_cleanly_on_second_call() {
+    silence_injected_panics();
+    // Poison one mid-stream record with a byte no RiotBench corpus
+    // emits, so the fault lands in the same record at every shard count.
+    let ds = smartcity::generate(50, 30);
+    let mut stream = Vec::new();
+    for (i, record) in ds.records().iter().enumerate() {
+        if i == 13 {
+            stream.extend_from_slice(b"{\"poison\":\"\x07\"}\n");
+        }
+        stream.extend_from_slice(record);
+        stream.push(b'\n');
+    }
+
+    for exprs in batch_zoo() {
+        let fused = MultiEngine::compile_batch(&exprs)
+            .filter_stream_verdicts(&stream, IngestLimits::UNLIMITED);
+        for shards in SHARD_COUNTS {
+            // Primary lanes are faulty batches; the retry lane is the
+            // clean `MultiLanes<CompiledFilter>` default. Fuel 1: the
+            // fault fires once on the first call, then the healed lane
+            // must carry the second call without the retry path.
+            let armed = FaultPlan::new(Trigger::OnByteValue(0x07), FaultKind::Panic)
+                .with_fuel(1)
+                .arm();
+            let mut runner: MultiShardedRunner<MultiLanes<FaultyBackend<Engine>>> =
+                MultiShardedRunner::try_with_shards(&exprs, shards).unwrap();
+            let first = runner
+                .filter_stream_verdicts(&stream, IngestLimits::UNLIMITED)
+                .expect("single fault must be absorbed by the retry lane");
+            let second = runner
+                .filter_stream_verdicts(&stream, IngestLimits::UNLIMITED)
+                .expect("healed lane must run clean");
+            drop(armed);
+            assert_eq!(first.num_records(), fused.num_records());
+            for (q, expr) in exprs.iter().enumerate() {
+                assert_eq!(
+                    first.query_verdicts(q),
+                    fused.query_verdicts(q),
+                    "faulted+retried call diverges on lane {q} (`{expr}`), shards {shards}"
+                );
+                assert_eq!(
+                    second.query_verdicts(q),
+                    fused.query_verdicts(q),
+                    "healed reused lane diverges on lane {q} (`{expr}`), shards {shards}"
+                );
+            }
         }
     }
 }

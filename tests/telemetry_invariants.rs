@@ -1,0 +1,256 @@
+//! Conservation laws of the telemetry counters across the whole
+//! pipeline.
+//!
+//! The metrics are only trustworthy if they balance: every record the
+//! framing layer reports must be reported exactly once as a runtime
+//! verdict (matched, unmatched, or skipped), every stream byte must be
+//! attributed to exactly one engine scan path, and every injected lane
+//! fault must show up as exactly one heal. These tests pin those laws
+//! at shard counts {1, 2, 3, 8}, with and without fault injection.
+//!
+//! Telemetry counters are process-global, so every test serialises on
+//! one lock and measures deltas between registry snapshots.
+
+use rfjson_core::query::query_to_exprs;
+use rfjson_core::{Engine, FilterBackend, IngestLimits, MultiEngine};
+use rfjson_riotbench::{smartcity_corpus, Query};
+use rfjson_runtime::fault::{
+    silence_injected_panics, FaultKind, FaultPlan, FaultyBackend, Trigger,
+};
+use rfjson_runtime::{MultiShardedRunner, ShardedRunner};
+use rfjson_telemetry::Snapshot;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` and returns its result plus the telemetry delta it caused.
+fn window<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    let before = rfjson_telemetry::registry().snapshot();
+    let out = f();
+    (out, rfjson_telemetry::registry().snapshot().delta(&before))
+}
+
+/// Total records the runtime reported, summed over every outcome.
+fn runtime_reported(d: &Snapshot) -> u64 {
+    d.counter("runtime.matched")
+        + d.counter("runtime.unmatched")
+        + d.counter("runtime.skipped.too_long")
+        + d.counter("runtime.skipped.record_limit")
+}
+
+#[test]
+fn records_are_conserved_across_shard_counts() {
+    if !rfjson_telemetry::ENABLED {
+        return;
+    }
+    let _guard = serialize();
+    let corpus = smartcity_corpus(120);
+    let stream = corpus.stream();
+    let records = corpus.len() as u64;
+    let expr = query_to_exprs(&Query::qs0(), 1).expect("query converts");
+    // Limits that actually trigger both quarantine reasons: the record
+    // budget cuts the stream in half, and a length cap inside the
+    // 215–220-byte record distribution quarantines the longer records.
+    let limits = IngestLimits {
+        max_record_bytes: Some(217),
+        max_records: Some(60),
+    };
+
+    for shards in SHARD_COUNTS {
+        let mut runner: ShardedRunner<Engine> = ShardedRunner::with_shards(&expr, shards);
+        let (verdicts, d) = window(|| {
+            runner
+                .filter_stream_verdicts(&stream, limits)
+                .expect("no faults injected")
+        });
+        assert_eq!(verdicts.len() as u64, records);
+        // Law 1: the framing layer saw every record exactly once.
+        assert_eq!(
+            d.counter("framing.records"),
+            records,
+            "framing.records at {shards} shards"
+        );
+        // Law 2: every framed record became exactly one runtime verdict.
+        assert_eq!(
+            runtime_reported(&d),
+            records,
+            "verdict outcomes at {shards} shards"
+        );
+        assert_eq!(d.counter("runtime.records"), records);
+        assert_eq!(d.counter("runtime.streams"), 1);
+        // The limits were actually exercised: the budget overwrites
+        // every verdict from index 60 on, and at least one of the first
+        // 60 records exceeds the length cap.
+        assert_eq!(d.counter("runtime.skipped.record_limit"), records - 60);
+        assert!(d.counter("runtime.skipped.too_long") >= 1);
+        assert_eq!(d.counter("runtime.lane_heals"), 0);
+        // Law 3: per-shard record histogram sums back to the total
+        // (prefix shards see all records; the budget is applied later).
+        let shard_records = d
+            .histogram("runtime.shard_records")
+            .expect("recorded per shard");
+        assert_eq!(shard_records.sum, records);
+    }
+}
+
+#[test]
+fn multi_records_are_conserved_across_shard_counts() {
+    if !rfjson_telemetry::ENABLED {
+        return;
+    }
+    let _guard = serialize();
+    let corpus = smartcity_corpus(90);
+    let stream = corpus.stream();
+    let records = corpus.len() as u64;
+    let batch = vec![
+        query_to_exprs(&Query::qs0(), 1).expect("query converts"),
+        query_to_exprs(&Query::qs1(), 1).expect("query converts"),
+    ];
+    let limits = IngestLimits {
+        max_record_bytes: None,
+        max_records: Some(70),
+    };
+
+    for shards in SHARD_COUNTS {
+        let mut runner: MultiShardedRunner<MultiEngine> =
+            MultiShardedRunner::with_shards(&batch, shards);
+        let (verdicts, d) = window(|| {
+            runner
+                .filter_stream_verdicts(&stream, limits)
+                .expect("no faults injected")
+        });
+        assert_eq!(verdicts.num_records() as u64, records);
+        assert_eq!(d.counter("framing.records"), records);
+        assert_eq!(runtime_reported(&d), records);
+        assert_eq!(d.counter("runtime.records"), records);
+        assert_eq!(d.counter("runtime.skipped.record_limit"), records - 70);
+        // The fused engines scored every record on some lane.
+        assert_eq!(d.counter("multi.records"), records);
+    }
+}
+
+#[test]
+fn bytes_are_conserved_on_serial_engine_streams() {
+    if !rfjson_telemetry::ENABLED {
+        return;
+    }
+    let _guard = serialize();
+    // RiotBench streams are pure `record\n` sequences (no CRs, no blank
+    // lines), so every stream byte lands in exactly one scan-path
+    // bucket: the SWAR word loop, the byte-serial path (sub-word tails
+    // and separators), or a prefilter-rejected record.
+    let corpus = smartcity_corpus(150);
+    let stream = corpus.stream();
+    let expr = query_to_exprs(&Query::qs0(), 1).expect("query converts");
+
+    let mut engine = Engine::compile(&expr);
+    let (decisions, d) = window(|| engine.filter_stream(&stream));
+    assert_eq!(decisions.len(), corpus.len());
+    let scanned = d.counter("engine.bytes.block")
+        + d.counter("engine.bytes.byte_serial")
+        + d.counter("engine.bytes.prefilter_skipped");
+    assert_eq!(scanned, stream.len() as u64, "single-query byte paths");
+
+    let batch = vec![
+        expr,
+        query_to_exprs(&Query::qs1(), 1).expect("query converts"),
+    ];
+    let mut fused = MultiEngine::compile_batch(&batch);
+    let (verdicts, d) = window(|| {
+        rfjson_core::MultiBackend::filter_stream_verdicts(
+            &mut fused,
+            &stream,
+            IngestLimits::UNLIMITED,
+        )
+    });
+    assert_eq!(verdicts.num_records(), corpus.len());
+    let scanned = d.counter("multi.bytes.block") + d.counter("multi.bytes.byte_serial");
+    assert_eq!(scanned, stream.len() as u64, "fused byte paths");
+}
+
+#[test]
+fn bytes_and_records_are_conserved_under_panic_faults() {
+    if !rfjson_telemetry::ENABLED {
+        return;
+    }
+    let _guard = serialize();
+    silence_injected_panics();
+    // One poison record: \x07 never occurs in the RiotBench corpora, so
+    // the fault lands in the same record at every shard count. Panic
+    // faults unwind before any driver flush, so the failed pass
+    // contributes nothing and the model retry counts the shard once.
+    let corpus = smartcity_corpus(80);
+    let mut stream = corpus.stream();
+    let insert_at = stream
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("NDJSON stream")
+        + 1;
+    let mut poison = b"{\"bad\":\"\x07\"}\n".to_vec();
+    let mut tail = stream.split_off(insert_at);
+    stream.append(&mut poison);
+    stream.append(&mut tail);
+    let records = (corpus.len() + 1) as u64;
+
+    let expr = query_to_exprs(&Query::qs0(), 1).expect("query converts");
+    let mut reference = Engine::compile(&expr);
+    let expected = reference.filter_stream(&stream);
+    assert_eq!(expected.len() as u64, records);
+
+    for shards in SHARD_COUNTS {
+        let mut runner: ShardedRunner<FaultyBackend<Engine>> =
+            ShardedRunner::with_shards(&expr, shards);
+        let armed = FaultPlan::new(Trigger::OnByteValue(0x07), FaultKind::Panic)
+            .with_fuel(1)
+            .arm();
+        let (decisions, d) = window(|| runner.filter_stream(&stream));
+        drop(armed);
+
+        assert_eq!(decisions, expected, "verdicts survive the fault");
+        // Exactly one injected fault: one heal, one retry, no double
+        // fault — and the record/byte books still balance because only
+        // the passes that completed flushed their tallies.
+        assert_eq!(d.counter("runtime.lane_heals"), 1, "at {shards} shards");
+        assert_eq!(d.counter("runtime.retries"), 1);
+        assert_eq!(d.counter("runtime.double_faults"), 0);
+        assert_eq!(d.counter("framing.records"), records);
+        assert_eq!(runtime_reported(&d), records);
+        assert_eq!(d.counter("runtime.bytes"), stream.len() as u64);
+    }
+}
+
+#[test]
+fn heal_count_equals_injected_fault_count() {
+    if !rfjson_telemetry::ENABLED {
+        return;
+    }
+    let _guard = serialize();
+    silence_injected_panics();
+    let corpus = smartcity_corpus(60);
+    let stream = corpus.stream();
+    let expr = query_to_exprs(&Query::qs0(), 1).expect("query converts");
+
+    // `{` opens every record, so an unlimited-fuel plan would fire on
+    // every shard; fuel k bounds the process-wide injection count and
+    // the heal counter must land on exactly k.
+    for k in [1u64, 2, 3] {
+        let mut runner: ShardedRunner<FaultyBackend<Engine>> = ShardedRunner::with_shards(&expr, 3);
+        let armed = FaultPlan::new(Trigger::OnByteValue(b'{'), FaultKind::Panic)
+            .with_fuel(k as usize)
+            .arm();
+        let (decisions, d) = window(|| runner.filter_stream(&stream));
+        drop(armed);
+        assert_eq!(decisions.len(), corpus.len());
+        assert_eq!(d.counter("runtime.lane_heals"), k, "fuel {k}");
+        assert_eq!(d.counter("runtime.retries"), k);
+        assert_eq!(d.counter("runtime.double_faults"), 0);
+        assert_eq!(d.counter("framing.records"), corpus.len() as u64);
+        assert_eq!(runtime_reported(&d), corpus.len() as u64);
+    }
+}

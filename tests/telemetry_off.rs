@@ -1,0 +1,85 @@
+//! The `telemetry-off` contract: the same API compiles in both modes,
+//! and the no-op build observably records nothing.
+//!
+//! CI runs this test binary twice — once default, once with
+//! `--no-default-features --features telemetry-off` — and the branches
+//! below pin the behaviour of whichever mode is compiled in.
+
+use rfjson_core::query::query_to_exprs;
+use rfjson_core::{Engine, FilterBackend};
+use rfjson_riotbench::{smartcity_corpus, Query};
+
+#[test]
+fn enabled_flag_matches_compiled_mode() {
+    assert_eq!(
+        rfjson_telemetry::ENABLED,
+        cfg!(not(feature = "telemetry-off"))
+    );
+}
+
+#[test]
+fn noop_mode_records_nothing_and_active_mode_records_everything() {
+    let c = rfjson_telemetry::counter("telemetry_off.test.counter");
+    let g = rfjson_telemetry::gauge("telemetry_off.test.gauge");
+    let h = rfjson_telemetry::histogram("telemetry_off.test.histogram");
+    c.add(41);
+    c.incr();
+    g.set(2.5);
+    h.record(1024);
+
+    if rfjson_telemetry::ENABLED {
+        assert_eq!(c.get(), 42);
+        assert!((g.get() - 2.5).abs() < f64::EPSILON);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1024);
+        let snap = rfjson_telemetry::registry().snapshot();
+        assert_eq!(snap.counter("telemetry_off.test.counter"), 42);
+    } else {
+        // The no-op build accepts every call and observably drops it.
+        assert_eq!(c.get(), 0);
+        assert!(g.get().abs() < f64::EPSILON);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        let snap = rfjson_telemetry::registry().snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}
+
+#[test]
+fn pipeline_flushes_nothing_when_off() {
+    // Filtering behaviour is identical in both modes; only the counters
+    // differ. (The dedicated differential/e2e suites pin the decisions
+    // themselves — here we pin that the off build stays silent.)
+    let corpus = smartcity_corpus(40);
+    let stream = corpus.stream();
+    let expr = query_to_exprs(&Query::qs0(), 1).expect("query converts");
+    let before = rfjson_telemetry::registry().snapshot();
+    let mut engine = Engine::compile(&expr);
+    let decisions = engine.filter_stream(&stream);
+    assert_eq!(decisions.len(), corpus.len());
+    let delta = rfjson_telemetry::registry().snapshot().delta(&before);
+
+    if rfjson_telemetry::ENABLED {
+        assert_eq!(delta.counter("framing.records"), corpus.len() as u64);
+    } else {
+        assert!(delta.counters.is_empty());
+        assert!(delta.gauges.is_empty());
+        assert!(delta.histograms.is_empty());
+    }
+}
+
+#[test]
+fn snapshot_type_works_in_both_modes() {
+    // `Snapshot` itself is always the real struct (it carries data
+    // across processes, e.g. parsed bench files), even when recording
+    // is compiled out.
+    let mut a = rfjson_telemetry::Snapshot::default();
+    a.counters.insert("x".into(), 3);
+    let mut b = rfjson_telemetry::Snapshot::default();
+    b.counters.insert("x".into(), 5);
+    let d = b.delta(&a);
+    assert_eq!(d.counter("x"), 2);
+    assert!(d.to_json().contains("\"x\": 2"));
+}
